@@ -1,0 +1,157 @@
+"""Figure 10: save / recovery time breakdown, SafetyPin vs baseline.
+
+The paper's measurements (Pixel 4 client, SoloKey HSMs, n=40, N=3,100):
+
+    save:     baseline 0.003 s | SafetyPin 0.37 s (0.34 public-key + LHE)
+    recovery: baseline 0.17 s  | SafetyPin 1.01 s
+              = log 0.15 + location-hiding 0.18 + puncturable 0.68
+
+We regenerate both bars: operation counts per protocol step are derived
+from the real implementation (metered at test scale, with the
+cluster-size- and key-size-dependent terms scaled to paper parameters) and
+priced on the Pixel 4 / SoloKey cost models.  The pytest benchmark times a
+real end-to-end backup+recovery at test scale.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.params import SystemParams
+from repro.core.protocol import Deployment
+from repro.crypto.bloom import BloomParams
+from repro.hsm.costmodel import CostModel
+from repro.hsm.devices import PIXEL4, SOLOKEY
+
+from bench_fig9_puncture import modeled_breakdown
+from reporting import emit, table
+
+N, CLUSTER, K_HASHES = 3100, 40, BloomParams.paper_deployment().num_hashes
+PHONE = CostModel(PIXEL4)
+HSM = CostModel(SOLOKEY)
+LOG_DEPTH = math.log2(100e6)
+
+
+def safetypin_save_seconds() -> dict:
+    """Client-side backup: n BFE share encryptions + payload AES."""
+    pk_counts = {"ec_mult": CLUSTER * (K_HASHES + 1)}
+    lhe_counts = {"aes_block": 4096 / 16 + CLUSTER * 8, "sha256_block": CLUSTER * 6}
+    return {
+        "public_key": PHONE.seconds(pk_counts),
+        "lhe_other": PHONE.seconds(lhe_counts),
+    }
+
+
+def safetypin_recovery_seconds() -> dict:
+    """Per-component recovery latency (cluster works in parallel, so HSM
+    terms are one device's work; client terms add)."""
+    log_counts = {
+        "sha256_block": 3 * LOG_DEPTH + 32,  # inclusion proof + commitment
+        "io_bytes": LOG_DEPTH * 96 + 2048,  # proof + opening transfer
+    }
+    log_s = HSM.seconds(log_counts)
+    puncturable_s = modeled_breakdown(1 << 20)[0].total
+    # Location-hiding: HSM encrypts its reply to the per-recovery key; the
+    # client decrypts n replies and reconstructs.
+    lhe_s = HSM.seconds({"elgamal_enc": 1}) + PHONE.seconds(
+        {"ec_mult": CLUSTER, "aes_block": 64}
+    )
+    return {
+        "log": log_s,
+        "location_hiding": lhe_s,
+        "puncturable": puncturable_s,
+        "total": log_s + lhe_s + puncturable_s,
+    }
+
+
+def baseline_save_seconds() -> float:
+    return PHONE.seconds({"elgamal_enc": 1})
+
+
+def baseline_recovery_seconds() -> float:
+    return HSM.seconds({"elgamal_dec": 1, "io_bytes": 200, "sha256_block": 4})
+
+
+@pytest.fixture(scope="module")
+def small_deployment():
+    params = SystemParams.for_testing(num_hsms=8, cluster_size=3, max_punctures=64)
+    return Deployment.create(params, rng=random.Random(17))
+
+
+def test_fig10_save_breakdown(benchmark, small_deployment):
+    counter = iter(range(10_000))
+
+    def do_backup():
+        client = small_deployment.new_client(f"save-bench-{next(counter)}")
+        client.backup(b"disk" * 256, pin="1234")
+
+    benchmark(do_backup)
+
+    ours = safetypin_save_seconds()
+    total = sum(ours.values())
+    base = baseline_save_seconds()
+    lines = [
+        f"SafetyPin save:  public-key {ours['public_key']:.3f} s + "
+        f"other {ours['lhe_other']:.3f} s = {total:.3f} s   (paper: 0.34 + 0.03 = 0.37 s)",
+        f"baseline save:   {base:.4f} s                        (paper: 0.003 s)",
+        f"ratio: {total / base:.0f}x   (paper: ~120x)",
+    ]
+    emit("fig10_save", "Figure 10 (left): time to save", lines)
+    assert 0.1 < total < 1.5
+    assert base < 0.02
+    assert total / base > 20
+
+
+def test_fig10_recovery_breakdown(benchmark, small_deployment):
+    counter = iter(range(10_000))
+
+    def do_roundtrip():
+        client = small_deployment.new_client(f"rec-bench-{next(counter)}")
+        client.backup(b"disk" * 64, pin="1234")
+        assert client.recover(pin="1234") == b"disk" * 64
+
+    benchmark.pedantic(do_roundtrip, rounds=3, iterations=1)
+
+    ours = safetypin_recovery_seconds()
+    base = baseline_recovery_seconds()
+    rows = [
+        ("log", f"{ours['log']:.2f} s", "0.15 s"),
+        ("location-hiding", f"{ours['location_hiding']:.2f} s", "0.18 s"),
+        ("puncturable", f"{ours['puncturable']:.2f} s", "0.68 s"),
+        ("total", f"{ours['total']:.2f} s", "1.01 s"),
+        ("baseline", f"{base:.2f} s", "0.17 s"),
+    ]
+    lines = table(("component", "modeled", "paper"), rows, (18, 12, 10))
+    emit("fig10_recovery", "Figure 10 (right): time to recover", lines)
+
+    # Shape: puncturable encryption dominates; SafetyPin is single-digit
+    # seconds and several-fold slower than the baseline.  (Our modeled
+    # constant sits ~2-3x above the paper's 1.01 s because the pure-Python
+    # GCM/KDF layers do more block operations per tree node than the
+    # hand-written C firmware; see EXPERIMENTS.md.)
+    assert ours["puncturable"] > ours["log"]
+    assert ours["puncturable"] > ours["location_hiding"]
+    assert 0.3 < ours["total"] < 5.0
+    assert 2 < ours["total"] / base < 40
+
+
+def test_fig10_ciphertext_sizes(benchmark, small_deployment):
+    """§9.2: SafetyPin recovery ciphertexts are 16.5 KB vs 130 B baseline."""
+    client = small_deployment.new_client("size-probe")
+    client.backup(b"x" * 16, pin="1234")
+    small_ct = small_deployment.provider.fetch_backup("size-probe")
+    benchmark(lambda: small_ct.size_bytes())
+
+    per_share = small_ct.size_bytes() / small_ct.cluster_size
+    paper_scale = per_share * CLUSTER
+    from repro.baseline.system import BaselineSystem
+
+    baseline_ct = BaselineSystem().new_client("b").backup(b"k" * 16, pin="123456")
+    lines = [
+        f"SafetyPin at n=40 (extrapolated): {paper_scale / 1024:.1f} KB (paper: 16.5 KB)",
+        f"baseline: {baseline_ct.size_bytes()} B (paper: ~130 B)",
+    ]
+    emit("fig10_sizes", "Recovery-ciphertext sizes", lines)
+    assert 4 < paper_scale / 1024 < 40
+    assert baseline_ct.size_bytes() < 250

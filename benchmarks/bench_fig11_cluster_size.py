@@ -1,0 +1,99 @@
+"""Figure 11: recovery time and security loss vs cluster size n.
+
+The paper sweeps n from 40 to 100: recovery time grows slowly (1.01 s to
+~1.25 s — only the client-side location-hiding work scales with n; the
+per-HSM puncturable work is parallel) while the bits of security lost
+relative to ideal PIN guessing *shrink* as log2(3N/n) (6.81 -> 5.49 bits in
+the figure, which corresponds to N=1,500; we print N=3,100 and N=1,500).
+
+The companion ablation prices the design the paper rejects in §1: threshold
+decryption across a fixed 6% of the whole fleet, whose per-recovery work
+grows linearly with N instead of staying constant.
+"""
+
+from repro.analysis.bounds import security_loss_bits
+from repro.hsm.costmodel import CostModel
+from repro.hsm.devices import PIXEL4, SOLOKEY
+
+from bench_fig10_breakdown import safetypin_recovery_seconds
+from reporting import emit, table
+
+PHONE = CostModel(PIXEL4)
+HSM = CostModel(SOLOKEY)
+
+
+def recovery_seconds(cluster_size: int) -> float:
+    base = safetypin_recovery_seconds()
+    # Only the client's reply handling scales with n.
+    scaling = PHONE.seconds({"ec_mult": cluster_size, "aes_block": 2 * cluster_size})
+    fixed = base["log"] + base["puncturable"] + HSM.seconds({"elgamal_enc": 1})
+    return fixed + scaling
+
+
+def test_fig11_cluster_size_sweep(benchmark):
+    benchmark(lambda: recovery_seconds(40))
+
+    sizes = list(range(40, 101, 10))
+    rows = []
+    for n in sizes:
+        rows.append(
+            (
+                n,
+                f"{recovery_seconds(n):.2f} s",
+                f"{security_loss_bits(3100, n):.2f}",
+                f"{security_loss_bits(1500, n):.2f}",
+            )
+        )
+    lines = table(
+        ("n", "recovery", "loss bits (N=3100)", "loss bits (N=1500)"),
+        rows,
+        (6, 12, 20, 20),
+    )
+    lines.append("")
+    lines.append("paper: 1.01 s at n=40 growing slowly; annotations 6.81..5.49 bits")
+    lines.append("(the paper's printed bit-loss values match N=1,500; see EXPERIMENTS.md)")
+    emit("fig11_cluster_size", "Figure 11: recovery time vs cluster size", lines)
+
+    times = [recovery_seconds(n) for n in sizes]
+    assert times == sorted(times)  # grows with n ...
+    assert times[-1] / times[0] < 1.6  # ... but slowly (paper: ~1.24x)
+    losses = [security_loss_bits(3100, n) for n in sizes]
+    assert losses == sorted(losses, reverse=True)
+
+
+def test_fig11_ablation_threshold_whole_fleet(benchmark):
+    """§1's rejected design: threshold-encrypt to 6% of the entire fleet.
+
+    Per-recovery HSM work then grows with N — adding HSMs adds security but
+    zero throughput, which is exactly why location-hiding clusters exist.
+    """
+    # Meter the *real* rejected design (repro.crypto.threshold) at a small
+    # size to get exact per-participant op counts, then scale the
+    # participant count with N.
+    import random
+
+    from repro.crypto import threshold as tel
+    from repro.metering import metered
+
+    public, shares = tel.keygen(4, 8, random.Random(2))
+    ct = tel.encrypt(public, b"key")
+    with metered() as meter:
+        partials = [tel.partial_decrypt(s, ct) for s in shares[:4]]
+        tel.combine(public, ct, partials)
+    per_participant_ops = meter.counts["elgamal_dec"] / 4
+
+    def rejected_design_seconds(num_hsms: int) -> float:
+        participants = max(1, int(num_hsms * 0.06))
+        return participants * per_participant_ops * HSM.seconds({"elgamal_dec": 1})
+
+    benchmark(lambda: rejected_design_seconds(3100))
+    rows = []
+    for n_fleet in (500, 1000, 3100, 10_000):
+        safetypin = recovery_seconds(40)
+        rejected = rejected_design_seconds(n_fleet)
+        rows.append((n_fleet, f"{safetypin:.2f} s", f"{rejected:.1f} s"))
+    lines = table(("N", "SafetyPin (n=40)", "threshold-6% design"), rows, (8, 18, 22))
+    lines.append("")
+    lines.append("SafetyPin is flat in N; the rejected design degrades linearly")
+    emit("fig11_ablation", "Ablation: hidden clusters vs fleet-wide threshold", lines)
+    assert rejected_design_seconds(10_000) > 10 * recovery_seconds(40)

@@ -1,0 +1,62 @@
+"""Figure 12: recoveries/year supported vs hardware outlay per device type.
+
+The paper plots, for SoloKey / YubiHSM 2 / SafeNet A700, how many
+SafetyPin-protected recoveries per year a given dollar outlay supports,
+scaling throughput by the g^x column of Table 2 and accounting for
+key-rotation duty cycles.  Headline shape: the $20 SoloKey line dominates
+per dollar; ~$60K of SoloKeys already serves 1B recoveries/year.
+"""
+
+from repro.hsm.devices import SAFENET_A700, SOLOKEY, YUBIHSM2
+from repro.sim.capacity import build_throughput_model, fig12_series
+
+from reporting import emit, table
+
+BUDGETS = [0.25e6, 0.5e6, 1e6, 2e6, 3e6, 4e6, 5e6]
+
+
+def test_fig12_throughput_vs_cost(benchmark):
+    series = benchmark(lambda: fig12_series([SOLOKEY, YUBIHSM2, SAFENET_A700], BUDGETS))
+
+    rows = []
+    for i, budget in enumerate(BUDGETS):
+        rows.append(
+            (
+                f"${budget / 1e6:.2f}M",
+                f"{series[SOLOKEY.name][i][1] / 1e9:8.1f}B",
+                f"{series[YUBIHSM2.name][i][1] / 1e9:8.2f}B",
+                f"{series[SAFENET_A700.name][i][1] / 1e9:8.2f}B",
+            )
+        )
+    lines = table(
+        ("budget", "SoloKey", "YubiHSM2", "SafeNet"), rows, (10, 12, 12, 12)
+    )
+    lines.append("")
+    lines.append("paper: SoloKey steepest line; 1B rec/yr within ~$60.7K of SoloKeys")
+    emit("fig12_throughput_cost", "Figure 12: recoveries/year vs HSM outlay", lines)
+
+    # Paper's ordering: per dollar, SoloKey > YubiHSM2; SoloKey > SafeNet.
+    at_5m = {name: dict(points)[5e6] for name, points in series.items()}
+    assert at_5m[SOLOKEY.name] > at_5m[YUBIHSM2.name]
+    assert at_5m[SOLOKEY.name] > at_5m[SAFENET_A700.name]
+    # Lines through the origin: throughput linear in budget.
+    solo = dict(series[SOLOKEY.name])
+    assert solo[2e6] / solo[1e6] == 2.0
+
+
+def test_fig12_billion_recovery_budget(benchmark):
+    """Anchor: the dollar outlay at which SoloKeys reach 1B/year."""
+    throughput = build_throughput_model(SOLOKEY)
+    benchmark(lambda: build_throughput_model(SOLOKEY))
+    per_hsm_annual = throughput.recoveries_per_hour * 24 * 365 / 40
+    needed = 1e9 / per_hsm_annual
+    budget = needed * SOLOKEY.price_usd
+    emit(
+        "fig12_anchor",
+        "SoloKey outlay for 1B recoveries/year",
+        [
+            f"{needed:,.0f} SoloKeys = ${budget / 1e3:,.1f}K   (paper: 3,037 = $60.7K)"
+        ],
+    )
+    assert 1000 < needed < 10_000
+    assert 20e3 < budget < 200e3

@@ -1,0 +1,74 @@
+"""Table 14: hardware cost of a billion-user SafetyPin deployment.
+
+Regenerates each row (device, quantity, f_secret, tolerated evil HSMs,
+hardware cost) plus the storage-cost footnote, using the throughput model
+calibrated on Tables 2/7.
+"""
+
+from fractions import Fraction
+
+from repro.hsm.devices import SAFENET_A700, SOLOKEY, YUBIHSM2
+from repro.sim.capacity import plan_deployment, storage_cost_per_year
+
+from reporting import emit, table
+
+ANNUAL = 1e9
+
+PAPER_ROWS = {
+    "SoloKey": (3037, "1/16", 189, "$60.7K"),
+    "YubiHSM 2": (1732, "1/16", 108, "$1.1M"),
+    "SafeNet A700": (40, "1/20", 2, "$738.7K"),
+}
+
+
+def test_table14_deployment_costs(benchmark):
+    plans = benchmark(
+        lambda: [
+            plan_deployment(SOLOKEY, ANNUAL),
+            plan_deployment(YUBIHSM2, ANNUAL),
+            plan_deployment(SAFENET_A700, ANNUAL, f_secret=Fraction(1, 20)),
+            # The paper's enlarged SafeNet rows: buy more units than the
+            # throughput minimum to tolerate more theft.
+            plan_deployment(
+                SAFENET_A700, ANNUAL, f_secret=Fraction(1, 32), min_quantity=320
+            ),
+            plan_deployment(
+                SAFENET_A700, ANNUAL, f_secret=Fraction(1, 16), min_quantity=800
+            ),
+        ]
+    )
+
+    rows = []
+    for plan in plans:
+        paper = PAPER_ROWS.get(plan.device.name)
+        rows.append(
+            (
+                plan.device.name,
+                f"{plan.quantity:,}",
+                f"1/{int(1 / plan.f_secret)}",
+                plan.tolerated_evil,
+                f"${plan.hardware_cost_usd / 1e3:,.1f}K",
+                f"{paper[0]:,} / {paper[3]}" if paper else "(extension row)",
+            )
+        )
+    lines = table(
+        ("device", "qty", "f_secret", "N_evil", "cost", "paper qty/cost"),
+        rows,
+        (16, 9, 10, 8, 12, 20),
+    )
+    storage = storage_cost_per_year(1e9, 4.0)
+    lines.append("")
+    lines.append(
+        f"storage footnote: 4 GB x 1e9 users/yr on S3-IA = ${storage / 1e6:,.0f}M "
+        "(paper: $600M) — HSM cost is negligible beside it"
+    )
+    emit("table14_deployment", "Table 14: deployment cost for 1B users/year", lines)
+
+    solo, yubi, safenet = plans[0], plans[1], plans[2]
+    # Same-order quantities and the paper's orderings:
+    assert 1000 < solo.quantity < 10_000  # paper: 3,037
+    assert yubi.quantity < solo.quantity  # faster device, fewer units
+    assert safenet.quantity < 200  # paper: 40
+    assert solo.hardware_cost_usd < yubi.hardware_cost_usd  # cheapest fleet
+    assert solo.hardware_cost_usd < safenet.hardware_cost_usd
+    assert storage > 100 * yubi.hardware_cost_usd

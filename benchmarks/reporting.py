@@ -1,0 +1,33 @@
+"""Shared table emission for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and emits
+its rows both to stdout (visible with ``pytest -s``) and to
+``benchmarks/out/<name>.txt`` so the reproduction record survives pytest's
+output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(name: str, title: str, lines: Iterable[str]) -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    rendered = [f"== {title} =="]
+    rendered.extend(lines)
+    text = "\n".join(rendered) + "\n"
+    print("\n" + text)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text)
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence], widths: Sequence[int]) -> list:
+    def fmt(cells):
+        return "".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(headers)]
+    lines.extend(fmt(row) for row in rows)
+    return lines

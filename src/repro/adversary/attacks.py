@@ -1,0 +1,190 @@
+"""Concrete attacks from the paper's threat model.
+
+These run against the real protocol objects — no mocks — so a passing
+security test means the deployed code path actually resisted the attack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.lhe import LheCiphertext, LocationHidingEncryption, parse_share_plaintext
+from repro.crypto.bfe import BloomFilterEncryption, PuncturedKeyError
+from repro.crypto.gcm import AuthenticationError
+from repro.crypto.shamir import Share
+from repro.hsm.device import StolenSecrets
+from repro.log.distributed import DistributedLog, UpdateRound
+
+
+# ---------------------------------------------------------------------------
+# Brute-force PIN guessing through the front door
+# ---------------------------------------------------------------------------
+class BruteForcePinAttacker:
+    """Tries PINs via the legitimate recovery protocol.
+
+    The distributed log limits attempts per username; the attack must die
+    after ``max_attempts_per_user`` guesses no matter how many PINs remain.
+    """
+
+    def __init__(self, client_factory, username: str) -> None:
+        # client_factory() -> a Client bound to the victim's username (the
+        # attacker controls the provider, so it can impersonate the account).
+        self._client_factory = client_factory
+        self.username = username
+        self.guesses_made = 0
+
+    def run(self, pin_candidates: Iterable[str]) -> Optional[bytes]:
+        """Guess until success or until the system refuses more attempts."""
+        from repro.core.client import RecoveryError
+
+        client = self._client_factory()
+        for pin in pin_candidates:
+            self.guesses_made += 1
+            try:
+                return client.recover(pin)
+            except RecoveryError:
+                continue
+            except KeyError:
+                break  # log refused the attempt identifier
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Adaptive HSM corruption (Theorem 10 / Remark 5)
+# ---------------------------------------------------------------------------
+def decrypt_with_stolen_secrets(
+    lhe: LocationHidingEncryption,
+    ciphertext: LheCiphertext,
+    stolen: Sequence[StolenSecrets],
+    pin_guess: str,
+    mpk: Sequence,
+) -> Optional[bytes]:
+    """Attempt decryption of ``ciphertext`` using only stolen HSM secrets.
+
+    Succeeds only if (a) ``pin_guess`` is the right PIN *and* (b) the stolen
+    set covers >= t members of the hidden cluster — exactly the win
+    condition of the security game.
+    """
+    by_index = {s.index: s for s in stolen}
+    cluster = lhe.select(ciphertext.salt, pin_guess)
+    context = lhe.context_for(ciphertext, mpk, pin_guess)
+    shares: List[Optional[Share]] = []
+    for position, hsm_index in enumerate(cluster):
+        secrets_ = by_index.get(hsm_index)
+        if secrets_ is None:
+            shares.append(None)
+            continue
+        try:
+            plaintext = BloomFilterEncryption.decrypt(
+                secrets_.bfe_secret,
+                ciphertext.share_ciphertexts[position],
+                context=context,
+            )
+        except (PuncturedKeyError, AuthenticationError):
+            shares.append(None)
+            continue
+        _, share = parse_share_plaintext(plaintext)
+        shares.append(share)
+    try:
+        return lhe.reconstruct(ciphertext, shares, context)
+    except Exception:
+        return None
+
+
+class AdaptiveCorruptionAttacker:
+    """Remark 5's generic attack: corrupt a budget of HSMs chosen *after*
+    seeing the ciphertext, testing one PIN guess per ``n`` corruptions."""
+
+    def __init__(self, fleet, lhe: LocationHidingEncryption, budget: int) -> None:
+        self.fleet = fleet
+        self.lhe = lhe
+        self.budget = budget
+        self.corrupted: List[int] = []
+
+    def run(
+        self,
+        ciphertext: LheCiphertext,
+        pin_candidates: Sequence[str],
+        mpk: Sequence,
+    ) -> Optional[bytes]:
+        stolen: List[StolenSecrets] = []
+        seen = set()
+        for pin in pin_candidates:
+            cluster = self.lhe.select(ciphertext.salt, pin)
+            for index in cluster:
+                if index in seen:
+                    continue
+                if len(seen) >= self.budget:
+                    break
+                seen.add(index)
+                stolen.append(self.fleet[index].extract_secrets())
+            self.corrupted = sorted(seen)
+            result = decrypt_with_stolen_secrets(self.lhe, ciphertext, stolen, pin, mpk)
+            if result is not None:
+                return result
+            if len(seen) >= self.budget:
+                break
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Cheating service provider
+# ---------------------------------------------------------------------------
+class CheatingProvider(DistributedLog):
+    """A provider that tries to break the log's append-only property.
+
+    Attack surface implemented:
+
+    - :meth:`rewrite_entry`: silently replace the value of a defined
+      identifier, then try to get the fleet to certify the resulting state
+      (the attack that would let it reset PIN-attempt counters).
+    - :meth:`forge_round_dropping_entry`: present a round whose proofs omit
+      one of the claimed insertions.
+    - :meth:`equivocate`: produce two different rounds on the same base
+      digest, attempting to show different logs to different HSMs.
+    """
+
+    def rewrite_entry(self, identifier: bytes, new_value: bytes) -> None:
+        """Mutate provider-side state behind the HSMs' backs."""
+        entries = [
+            (i, new_value if i == identifier else v)
+            for i, v in self.dict.items()
+        ]
+        from repro.log.authdict import AuthenticatedDictionary
+
+        self.dict = AuthenticatedDictionary.from_entries(entries)
+        self.ordered_entries = [
+            (i, new_value if i == identifier else v) for i, v in self.ordered_entries
+        ]
+
+    def forge_round_dropping_entry(self, hsm_count: int) -> UpdateRound:
+        """Build a round whose extension proofs skip the first pending entry
+        while the claimed new digest still includes it."""
+        if not self.pending:
+            raise ValueError("no pending entries to forge against")
+        dropped, *rest = self.pending
+        honest_round = self.prepare_update(num_chunks=max(1, hsm_count))
+        # Serve proofs with the first insertion removed from its chunk.
+        for i, chunk in enumerate(honest_round.chunks):
+            if any(p.identifier == dropped[0] for p in chunk.proofs):
+                forged = tuple(
+                    p for p in chunk.proofs if p.identifier != dropped[0]
+                )
+                honest_round.chunks[i] = dataclasses.replace(chunk, proofs=forged)
+                break
+        return honest_round
+
+    def equivocate(
+        self, entries_a: List[Tuple[bytes, bytes]], entries_b: List[Tuple[bytes, bytes]]
+    ) -> Tuple[UpdateRound, UpdateRound]:
+        """Two alternative rounds from the same base digest."""
+        import copy
+
+        base_pending = list(self.pending)
+        snapshot = copy.deepcopy(self)
+        self.pending = base_pending + entries_a
+        round_a = self.prepare_update(num_chunks=1)
+        snapshot.pending = base_pending + entries_b
+        round_b = snapshot.prepare_update(num_chunks=1)
+        return round_a, round_b

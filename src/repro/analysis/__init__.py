@@ -1,0 +1,31 @@
+"""The paper's security analysis, as executable mathematics.
+
+Implements the quantitative bounds of §6.2 and Appendix A (Lemma 8,
+Theorems 9 and 10), plus the parameter-selection rules derived from them.
+The benchmarks use these to reproduce the security-loss annotations of
+Figure 11 and the parameter table of §9.2.
+"""
+
+from repro.analysis.bounds import (
+    audit_failure_probability,
+    correctness_failure_bound,
+    correctness_failure_exact,
+    cover_probability_bound,
+    security_advantage_bound,
+    security_loss_bits,
+    remark5_attack_advantage,
+    minimum_cluster_size,
+    theorem10_preconditions_ok,
+)
+
+__all__ = [
+    "audit_failure_probability",
+    "correctness_failure_bound",
+    "correctness_failure_exact",
+    "cover_probability_bound",
+    "security_advantage_bound",
+    "security_loss_bits",
+    "remark5_attack_advantage",
+    "minimum_cluster_size",
+    "theorem10_preconditions_ok",
+]

@@ -1,0 +1,25 @@
+"""The status-quo baseline (paper §9.2).
+
+Models today's PIN-based backup systems (Apple's Cloud Key Vault, Google's
+Cloud Key Vault, Signal SVR): a *fixed* cluster of five HSMs shares one
+keypair; the client encrypts (recovery key, salted PIN hash) to it; any
+cluster member decrypts after checking the PIN hash and its local attempt
+counter.  Every HSM in the cluster is a single point of security failure
+for all users assigned to it — the weakness SafetyPin removes.
+"""
+
+from repro.baseline.system import (
+    BaselineSystem,
+    BaselineClient,
+    BaselineHsm,
+    BaselineRecoveryError,
+    PinAttemptsExhausted,
+)
+
+__all__ = [
+    "BaselineSystem",
+    "BaselineClient",
+    "BaselineHsm",
+    "BaselineRecoveryError",
+    "PinAttemptsExhausted",
+]

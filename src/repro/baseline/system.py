@@ -1,0 +1,180 @@
+"""Fixed-cluster encrypted-backup baseline (paper §9.2 "Baseline").
+
+Protocol, as the paper describes it:
+
+- *Backup*: the client selects a fixed cluster of five HSMs and encrypts her
+  recovery key together with a (salted) hash of her PIN under the cluster's
+  public key.  The baseline recovery ciphertext is ~130 bytes.
+- *Recovery*: the client sends the ciphertext plus the PIN hash to the
+  cluster; any one HSM decrypts, compares hashes, and returns the key.
+- *Brute-force defence*: each HSM independently limits the number of
+  recovery attempts per ciphertext.  (Independently! — a determined
+  attacker gets the limit times five, which the tests demonstrate.)
+
+Security failure mode reproduced here: compromising any single cluster HSM
+exposes every backup encrypted to that cluster (``tests/adversary`` shows
+one stolen baseline HSM breaks all its users, while SafetyPin survives the
+same event).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import metering
+from repro.crypto.ec import ECKeyPair, P256
+from repro.crypto.elgamal import ElGamalCiphertext, HashedElGamal
+from repro.crypto.gcm import AuthenticationError
+from repro.crypto.hashing import constant_time_equal, sha256
+from repro.metering import OpMeter
+
+CLUSTER_SIZE = 5  # "a device typically encrypts its backup key to ... five HSMs"
+
+
+class BaselineRecoveryError(Exception):
+    """Wrong PIN or undecryptable ciphertext."""
+
+
+class PinAttemptsExhausted(Exception):
+    """The HSM's per-ciphertext attempt counter ran out."""
+
+
+def _pin_hash(pin: str, salt: bytes) -> bytes:
+    return sha256(b"baseline-pin", salt, pin.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class BaselineCiphertext:
+    """~130 bytes: salt + one ElGamal ciphertext over (key || pin-hash)."""
+
+    salt: bytes
+    body: ElGamalCiphertext
+
+    def size_bytes(self) -> int:
+        return len(self.salt) + len(self.body)
+
+    def attempt_id(self) -> bytes:
+        return sha256(b"baseline-attempt-id", self.salt, self.body.to_bytes())
+
+
+class BaselineHsm:
+    """One member of a fixed five-HSM cluster.
+
+    All members hold the *same* decryption key (that is how the baseline
+    gets fault tolerance), and each keeps its own local attempt counters.
+    """
+
+    def __init__(self, index: int, keypair: ECKeyPair, max_attempts: int = 10) -> None:
+        self.index = index
+        self._keypair = keypair
+        self.max_attempts = max_attempts
+        self._attempts: Dict[bytes, int] = {}
+        self.meter = OpMeter()
+        self.is_failed = False
+
+    @property
+    def public_key(self):
+        return self._keypair.public
+
+    def recover(self, ciphertext: BaselineCiphertext, pin_hash: bytes) -> bytes:
+        """Decrypt, check the PIN hash, count the attempt."""
+        if self.is_failed:
+            raise BaselineRecoveryError(f"baseline HSM {self.index} is down")
+        with self.meter.attached():
+            attempt_key = ciphertext.attempt_id()
+            used = self._attempts.get(attempt_key, 0)
+            if used >= self.max_attempts:
+                raise PinAttemptsExhausted(
+                    f"baseline HSM {self.index}: attempt limit reached"
+                )
+            self._attempts[attempt_key] = used + 1
+            try:
+                plaintext = HashedElGamal.decrypt(
+                    self._keypair.secret, ciphertext.body, context=b"baseline"
+                )
+            except AuthenticationError as exc:
+                raise BaselineRecoveryError("undecryptable ciphertext") from exc
+            stored_hash, recovery_key = plaintext[:32], plaintext[32:]
+            if not constant_time_equal(stored_hash, pin_hash):
+                raise BaselineRecoveryError("PIN hash mismatch")
+            return recovery_key
+
+    def fail_stop(self) -> None:
+        self.is_failed = True
+
+    def extract_secrets(self) -> int:
+        """Physical compromise: the cluster secret key (breaks every user)."""
+        return self._keypair.secret
+
+
+class BaselineSystem:
+    """A data center of fixed five-HSM clusters."""
+
+    def __init__(self, num_clusters: int = 1, max_attempts: int = 10) -> None:
+        self.clusters: List[List[BaselineHsm]] = []
+        for c in range(num_clusters):
+            keypair = P256.keygen()
+            self.clusters.append(
+                [
+                    BaselineHsm(index=c * CLUSTER_SIZE + i, keypair=keypair, max_attempts=max_attempts)
+                    for i in range(CLUSTER_SIZE)
+                ]
+            )
+        self._backups: Dict[str, BaselineCiphertext] = {}
+        self._assignment: Dict[str, int] = {}
+
+    def new_client(self, username: str) -> "BaselineClient":
+        cluster_index = len(self._assignment) % len(self.clusters)
+        self._assignment[username] = cluster_index
+        return BaselineClient(username, self, cluster_index)
+
+    def cluster_for(self, username: str) -> List[BaselineHsm]:
+        return self.clusters[self._assignment[username]]
+
+    def upload(self, username: str, ciphertext: BaselineCiphertext) -> None:
+        self._backups[username] = ciphertext
+
+    def fetch(self, username: str) -> BaselineCiphertext:
+        return self._backups[username]
+
+
+class BaselineClient:
+    """Client of the baseline system."""
+
+    def __init__(self, username: str, system: BaselineSystem, cluster_index: int) -> None:
+        self.username = username
+        self.system = system
+        self.cluster_index = cluster_index
+        self.meter = OpMeter()
+
+    def backup(self, recovery_key: bytes, pin: str) -> BaselineCiphertext:
+        """Encrypt (pin-hash || key) to the fixed cluster's public key."""
+        with self.meter.attached():
+            salt = secrets.token_bytes(16)
+            cluster = self.system.clusters[self.cluster_index]
+            body = HashedElGamal.encrypt(
+                cluster[0].public_key,
+                _pin_hash(pin, salt) + recovery_key,
+                context=b"baseline",
+            )
+            ciphertext = BaselineCiphertext(salt=salt, body=body)
+        self.system.upload(self.username, ciphertext)
+        return ciphertext
+
+    def recover(self, pin: str) -> bytes:
+        """Ask cluster members in order until one is alive."""
+        ciphertext = self.system.fetch(self.username)
+        with self.meter.attached():
+            pin_hash = _pin_hash(pin, ciphertext.salt)
+        last_error: Optional[Exception] = None
+        for hsm in self.system.cluster_for(self.username):
+            try:
+                return hsm.recover(ciphertext, pin_hash)
+            except BaselineRecoveryError as exc:
+                if "is down" in str(exc):
+                    last_error = exc
+                    continue  # fail over to the next replica
+                raise
+        raise BaselineRecoveryError("entire baseline cluster is down") from last_error

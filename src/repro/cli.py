@@ -1,0 +1,156 @@
+"""Command-line interface for exploring the SafetyPin reproduction.
+
+Drives an in-memory deployment through the library's public API:
+
+    python -m repro.cli demo                 # end-to-end walkthrough
+    python -m repro.cli plan --users 1e9     # deployment sizing (§9.2)
+    python -m repro.cli params               # paper parameters + bounds
+    python -m repro.cli attack               # run the threat-model attacks
+
+(Backups are in-process: the CLI is a teaching/evaluation tool, not a
+persistence layer.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import Deployment, SystemParams
+    from repro.core.client import RecoveryError
+
+    params = SystemParams.for_testing(
+        num_hsms=args.hsms, cluster_size=args.cluster, pin_length=len(args.pin)
+    )
+    print(f"provisioning {params.num_hsms} HSMs (n={params.cluster_size}, "
+          f"t={params.threshold})...")
+    dep = Deployment.create(params)
+    client = dep.new_client(args.user)
+    message = args.message.encode("utf-8")
+    client.backup(message, pin=args.pin)
+    print(f"backed up {len(message)} bytes for {args.user!r}")
+    recovered = client.recover(pin=args.pin)
+    assert recovered == message
+    print("recovered successfully; HSMs punctured their keys")
+    try:
+        client.recover(pin=args.pin)
+        print("ERROR: second recovery should have failed")
+        return 1
+    except RecoveryError:
+        print("second recovery correctly refused (forward security)")
+    print(f"log entries for {args.user!r}: "
+          f"{len(client.audit_my_recovery_attempts())}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.bounds import minimum_cluster_size, security_loss_bits
+    from repro.hsm.devices import SAFENET_A700, SOLOKEY, YUBIHSM2
+    from repro.sim.capacity import build_throughput_model, plan_deployment
+
+    users = float(args.users)
+    n = minimum_cluster_size(10 ** args.pin_digits)
+    print(f"cluster size n = {n} for {args.pin_digits}-digit PINs")
+    for device in (SOLOKEY, YUBIHSM2, SAFENET_A700):
+        throughput = build_throughput_model(device)
+        plan = plan_deployment(device, users, cluster_size=n, throughput=throughput)
+        print(f"  {plan.describe()}")
+    solo = plan_deployment(SOLOKEY, users, cluster_size=n)
+    print(f"security loss vs PIN guessing at the SoloKey plan: "
+          f"{security_loss_bits(solo.quantity, n):.2f} bits")
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    from repro.analysis.bounds import (
+        audit_failure_probability,
+        correctness_failure_exact,
+        security_advantage_bound,
+    )
+    from repro.core.params import SystemParams
+
+    params = SystemParams.for_paper()
+    bloom = params.bloom_params()
+    print("paper deployment parameters:")
+    print(f"  N = {params.num_hsms} HSMs, n = {params.cluster_size}, "
+          f"t = {params.threshold}")
+    print(f"  PIN space |P| = {params.pin_space_size:,}")
+    print(f"  f_secret = {params.f_secret} "
+          f"(tolerates {params.tolerated_compromises} stolen HSMs)")
+    print(f"  f_live = {params.f_live} "
+          f"(tolerates {params.tolerated_failures} failed HSMs)")
+    print(f"  Bloom key: {bloom.num_slots:,} slots x 32 B = "
+          f"{bloom.secret_key_bytes() / 1e6:.0f} MB, k = {bloom.num_hashes}")
+    print("derived security bounds:")
+    print(f"  audit miss prob (C=128): "
+          f"{audit_failure_probability(params.f_secret, params.audit_count):.2e}")
+    print(f"  recovery failure prob: "
+          f"{correctness_failure_exact(params.cluster_size, params.threshold, params.f_live):.2e}")
+    print(f"  attacker advantage bound (Thm 10): "
+          f"{security_advantage_bound(params.num_hsms, params.cluster_size, params.pin_space_size):.2e}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    import runpy
+    import os
+
+    script = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        "examples",
+        "attack_and_audit.py",
+    )
+    if os.path.exists(script):
+        runpy.run_path(script, run_name="__main__")
+        return 0
+    # Fallback when examples/ is not shipped: run the core attack inline.
+    from repro import Deployment, SystemParams
+    from repro.adversary.attacks import decrypt_with_stolen_secrets
+
+    dep = Deployment.create(SystemParams.for_testing())
+    client = dep.new_client("victim")
+    client.backup(b"secret", pin="1234")
+    ct = dep.provider.fetch_backup("victim")
+    stolen = dep.fleet.compromise([0])
+    print("one stolen HSM decrypts:",
+          decrypt_with_stolen_secrets(client.lhe, ct, stolen, "1234", client.mpk))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="SafetyPin reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="end-to-end backup/recovery walkthrough")
+    demo.add_argument("--hsms", type=int, default=16)
+    demo.add_argument("--cluster", type=int, default=4)
+    demo.add_argument("--user", default="alice")
+    demo.add_argument("--pin", default="4927")
+    demo.add_argument("--message", default="hello from safetypin")
+    demo.set_defaults(func=_cmd_demo)
+
+    plan = sub.add_parser("plan", help="deployment sizing (§9.2)")
+    plan.add_argument("--users", default="1e9")
+    plan.add_argument("--pin-digits", type=int, default=6)
+    plan.set_defaults(func=_cmd_plan)
+
+    params = sub.add_parser("params", help="paper parameters and bounds")
+    params.set_defaults(func=_cmd_params)
+
+    attack = sub.add_parser("attack", help="run the threat-model attack demos")
+    attack.set_defaults(func=_cmd_attack)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""The SafetyPin client (paper §4, Figure 3).
+
+A client holds its username, its PIN (supplied per call, never stored), and
+the master public key ``mpk``.  ``backup`` runs entirely locally; ``recover``
+walks the Figure 3 protocol: log the attempt, obtain an inclusion proof,
+contact the PIN-selected cluster, reconstruct.
+
+Also implemented from §8:
+
+- *Failure during recovery*: a fresh per-recovery keypair is generated and
+  backed up through SafetyPin itself before recovery starts; HSM replies are
+  encrypted under it and escrowed with the provider, so a replacement device
+  can resume an interrupted recovery (:meth:`Client.resume_recovery`).  The
+  scheme nests arbitrarily.
+- *Incremental backups*: a long-lived master AES key is SafetyPin-protected
+  once; increments are cheap AE blobs under that key.
+- *Multiple recovery ciphertexts*: ``reuse_salt=True`` keeps the same hidden
+  cluster across a user's backup series so one puncture pass revokes all of
+  them (§8), and a fresh salt is forced after each successful recovery.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.lhe import LheCiphertext, LocationHidingEncryption, BfePke
+from repro.core.params import SystemParams
+from repro.core.provider import ServiceProvider
+from repro.crypto.commit import commit_recovery
+from repro.crypto.ec import ECKeyPair, P256
+from repro.crypto.elgamal import ElGamalCiphertext, HashedElGamal
+from repro.crypto.gcm import ae_decrypt, ae_encrypt
+from repro.crypto.shamir import Share
+from repro.hsm.device import DecryptShareRequest, HsmRefusedError, HsmUnavailableError
+from repro.crypto.bfe import PuncturedKeyError
+from repro.metering import OpMeter
+
+#: Suffix for the hidden account that stores per-recovery keys (§8).
+_RECOVERY_KEY_SUFFIX = "!rk"
+
+
+class RecoveryError(Exception):
+    """Recovery failed (wrong PIN, too many HSMs down, or attempt refused)."""
+
+
+@dataclass
+class RecoverySession:
+    """State of one in-flight recovery (survives on the provider if the
+    client device dies after :meth:`Client.request_shares`)."""
+
+    username: str
+    attempt: int
+    ciphertext: LheCiphertext
+    cluster: Tuple[int, ...]
+    context: bytes
+    commitment: bytes
+    opening: object
+    log_identifier: bytes
+    inclusion_proof: object
+    response_keypair: ECKeyPair
+    recovery_key_username: Optional[str] = None
+    encrypted_replies: List[bytes] = field(default_factory=list)
+
+
+class Client:
+    """One user's device."""
+
+    def __init__(
+        self,
+        username: str,
+        params: SystemParams,
+        provider: ServiceProvider,
+        hsm_channel: Callable[[int], object],
+        mpk: Sequence,
+    ) -> None:
+        self.username = username
+        self.params = params
+        self.provider = provider
+        self._channel = hsm_channel
+        self.mpk = list(mpk)
+        self.lhe = LocationHidingEncryption(
+            num_hsms=params.num_hsms,
+            cluster_size=params.cluster_size,
+            threshold=params.threshold,
+            pke=BfePke(),
+        )
+        self.meter = OpMeter()
+        self._last_salt: Optional[bytes] = None
+        self._master_key: Optional[bytes] = None
+        self._master_backup_index: Optional[int] = None
+
+    # -- key material -----------------------------------------------------------
+    def refresh_mpk(self, mpk: Sequence) -> None:
+        """Install rotated HSM public keys (the paper's ~2 MB/day download)."""
+        self.mpk = list(mpk)
+
+    def _config_epoch(self) -> int:
+        return max((info.key_epoch for info in self.mpk), default=0)
+
+    # -- backup (step Ê of Figure 3) ----------------------------------------------
+    def backup(
+        self,
+        message: bytes,
+        pin: str,
+        reuse_salt: bool = False,
+        username: Optional[str] = None,
+    ) -> int:
+        """Encrypt ``message`` locally and upload; returns the backup index.
+
+        ``reuse_salt=True`` reuses the previous salt so the backup series
+        shares one hidden cluster (§8 "multiple recovery ciphertexts").
+        """
+        self.params.validate_pin(pin)
+        username = username if username is not None else self.username
+        salt = self._last_salt if reuse_salt else None
+        with self.meter.attached():
+            ciphertext = self.lhe.encrypt(
+                self.mpk,
+                pin,
+                message,
+                username=username,
+                salt=salt,
+                config_epoch=self._config_epoch(),
+            )
+        self._last_salt = ciphertext.salt
+        return self.provider.upload_backup(username, ciphertext)
+
+    # -- recovery (steps Ë..Ð of Figure 3) --------------------------------------------
+    def recover(self, pin: str, backup_index: int = -1) -> bytes:
+        """Full recovery of this user's backup at ``backup_index``."""
+        session = self.begin_recovery(pin, backup_index)
+        self.request_shares(session, pin)
+        return self.finish_recovery(session)
+
+    def begin_recovery(
+        self,
+        pin: str,
+        backup_index: int = -1,
+        backup_recovery_key: bool = True,
+        username: Optional[str] = None,
+    ) -> RecoverySession:
+        """Steps Ë-Î: fetch the ciphertext, log the attempt, get the proof."""
+        self.params.validate_pin(pin)
+        username = username if username is not None else self.username
+        ciphertext = self.provider.fetch_backup(username, backup_index)
+        attempt = self.provider.next_attempt_number(username)
+        if attempt >= self.params.max_attempts_per_user:
+            raise RecoveryError(
+                f"user {username!r} has exhausted the {self.params.max_attempts_per_user}"
+                " allowed recovery attempts"
+            )
+
+        with self.meter.attached():
+            cluster = tuple(self.lhe.select(ciphertext.salt, pin))
+            context = self.lhe.context_for(ciphertext, self.mpk, pin)
+            response_keypair = P256.keygen()
+
+        # §8 failure handling: SafetyPin-protect the per-recovery secret key
+        # *before* the first HSM is contacted.
+        recovery_key_username = None
+        if backup_recovery_key:
+            recovery_key_username = f"{username}{_RECOVERY_KEY_SUFFIX}{attempt}"
+            with self.meter.attached():
+                nested_ct = self.lhe.encrypt(
+                    self.mpk,
+                    pin,
+                    response_keypair.secret.to_bytes(32, "big"),
+                    username=recovery_key_username,
+                    config_epoch=self._config_epoch(),
+                )
+            self.provider.upload_backup(recovery_key_username, nested_ct)
+
+        with self.meter.attached():
+            commitment, opening = commit_recovery(
+                username, cluster, ciphertext.ciphertext_hash()
+            )
+        log_identifier, proof = self.provider.log_and_prove(username, attempt, commitment)
+        return RecoverySession(
+            username=username,
+            attempt=attempt,
+            ciphertext=ciphertext,
+            cluster=cluster,
+            context=context,
+            commitment=commitment,
+            opening=opening,
+            log_identifier=log_identifier,
+            inclusion_proof=proof,
+            response_keypair=response_keypair,
+            recovery_key_username=recovery_key_username,
+        )
+
+    def request_shares(self, session: RecoverySession, pin: str) -> int:
+        """Step Ï: ask each cluster HSM to decrypt-and-puncture.
+
+        Replies (encrypted under the per-recovery key) are escrowed with the
+        provider so a replacement device can finish if this one dies.
+        Returns the number of shares obtained.
+        """
+        obtained = 0
+        for position, hsm_index in enumerate(session.cluster):
+            request = DecryptShareRequest(
+                username=session.username,
+                log_identifier=session.log_identifier,
+                commitment=session.commitment,
+                opening=session.opening,
+                inclusion_proof=session.inclusion_proof,
+                share_ciphertext=session.ciphertext.share_ciphertexts[position],
+                context=session.context,
+                response_key=session.response_keypair.public,
+            )
+            try:
+                reply = self._channel(hsm_index).decrypt_share(request)
+            except (HsmUnavailableError, PuncturedKeyError, HsmRefusedError):
+                # Fail-stopped, already-punctured, or refusing HSM: count it
+                # against the threshold, like the paper's ⊥ shares.
+                continue
+            reply_bytes = reply.to_bytes()
+            self.provider.store_reply(session.username, session.attempt, reply_bytes)
+            session.encrypted_replies.append(reply_bytes)
+            obtained += 1
+        return obtained
+
+    def finish_recovery(self, session: RecoverySession) -> bytes:
+        """Decrypt the escrowed replies and reconstruct the backup."""
+        shares = self._decrypt_replies(
+            session.encrypted_replies,
+            session.response_keypair.secret,
+            session.username,
+        )
+        if len(shares) < self.params.threshold:
+            raise RecoveryError(
+                f"only {len(shares)} of the required {self.params.threshold} shares"
+                " were recovered (wrong PIN, or too many HSMs unavailable)"
+            )
+        with self.meter.attached():
+            message = self.lhe.reconstruct(session.ciphertext, shares, session.context)
+        # After recovery the old salt must not be reused (§8).
+        self._last_salt = None
+        return message
+
+    def _decrypt_replies(
+        self, encrypted_replies: Sequence[bytes], secret: int, username: str
+    ) -> List[Share]:
+        shares = []
+        with self.meter.attached():
+            for blob in encrypted_replies:
+                reply = ElGamalCiphertext.from_bytes(blob)
+                share_bytes = HashedElGamal.decrypt(
+                    secret, reply, context=b"recovery-reply" + username.encode("utf-8")
+                )
+                shares.append(Share.from_bytes(share_bytes))
+        return shares
+
+    # -- §8: resuming after device failure -----------------------------------------------
+    def resume_recovery(self, pin: str, attempt: int, username: Optional[str] = None) -> bytes:
+        """Finish a recovery started by a device that has since died.
+
+        The replacement device recovers the per-recovery secret key through
+        SafetyPin (a nested, fully-logged recovery), then decrypts the
+        escrowed HSM replies.  Nesting recurses naturally: if *this* device
+        also dies, the next one resumes the nested recovery the same way.
+        """
+        username = username if username is not None else self.username
+        replies = self.provider.fetch_replies(username, attempt)
+        if not replies:
+            raise RecoveryError(f"no escrowed replies for {username!r} attempt {attempt}")
+        rk_username = f"{username}{_RECOVERY_KEY_SUFFIX}{attempt}"
+        session = self.begin_recovery(
+            pin, backup_index=-1, backup_recovery_key=True, username=rk_username
+        )
+        self.request_shares(session, pin)
+        secret_bytes = self.finish_recovery(session)
+        secret = int.from_bytes(secret_bytes, "big")
+
+        original_ct = self.provider.fetch_backup(username)
+        shares = self._decrypt_replies(replies, secret, username)
+        if len(shares) < self.params.threshold:
+            raise RecoveryError("not enough escrowed shares to finish recovery")
+        with self.meter.attached():
+            cluster = tuple(self.lhe.select(original_ct.salt, pin))
+            context = self.lhe.context_for(original_ct, self.mpk, pin)
+            return self.lhe.reconstruct(original_ct, shares, context)
+
+    # -- §8: incremental backups ------------------------------------------------------------
+    def enable_incremental_backups(self, pin: str) -> None:
+        """SafetyPin-protect a long-lived master key kept on the device."""
+        self._master_key = secrets.token_bytes(16)
+        self._master_backup_index = self.backup(self._master_key, pin)
+
+    def incremental_backup(self, data: bytes) -> None:
+        if self._master_key is None:
+            raise RecoveryError("incremental backups not enabled on this device")
+        with self.meter.attached():
+            blob = ae_encrypt(self._master_key, data, aad=self.username.encode("utf-8"))
+        self.provider.upload_incremental(self.username, blob)
+
+    def recover_incrementals(self, pin: str) -> List[bytes]:
+        """Recover the master key once, then decrypt every increment."""
+        if self._master_backup_index is None:
+            raise RecoveryError("no master-key backup recorded")
+        master_key = self.recover(pin, backup_index=self._master_backup_index)
+        with self.meter.attached():
+            return [
+                ae_decrypt(master_key, blob, aad=self.username.encode("utf-8"))
+                for blob in self.provider.fetch_incrementals(self.username)
+            ]
+
+    # -- monitoring (§6.3) ---------------------------------------------------------------------
+    def audit_my_recovery_attempts(self) -> List[Tuple[bytes, bytes]]:
+        """Check the public log for recovery attempts against this account."""
+        return self.provider.recovery_attempts_for(self.username)

@@ -1,0 +1,121 @@
+"""Deployment glue: one object wiring fleet, provider, and clients.
+
+``Deployment`` is the top of the public API: it provisions the HSM fleet
+(with their outsourced key stores hosted *at the provider*, as in the
+paper), installs the log-update runner, hands authenticated copies of the
+master public key to clients, and drives maintenance (key rotation, garbage
+collection, fault injection).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.client import Client
+from repro.core.params import SystemParams
+from repro.core.provider import ServiceProvider
+from repro.hsm.fleet import HsmFleet
+from repro.log.distributed import BlsMultiSig, EcdsaMultiSig, MultiSigScheme
+from repro.log.membership import MembershipRegistry, MembershipVerifier
+
+
+class Deployment:
+    """A complete SafetyPin installation."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        fleet: HsmFleet,
+        provider: ServiceProvider,
+    ) -> None:
+        self.params = params
+        self.fleet = fleet
+        self.provider = provider
+        self.clients: List[Client] = []
+        # §6 third use: membership changes are logged before taking effect.
+        self.membership = MembershipRegistry(provider.log)
+        self.membership.record_fleet(fleet.master_public_key())
+        provider.log.run_update(fleet.hsms)
+
+    # -- construction ---------------------------------------------------------
+    @staticmethod
+    def create(
+        params: SystemParams,
+        multisig: Optional[MultiSigScheme] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "Deployment":
+        """Provision a deployment: HSM keygen, signer directory, log wiring.
+
+        ``multisig`` defaults to the concatenated-ECDSA scheme for speed;
+        pass :class:`BlsMultiSig` for the paper's aggregate signatures.
+        """
+        provider = ServiceProvider(params.log_config())
+        fleet = HsmFleet(
+            num_hsms=params.num_hsms,
+            bloom_params=params.bloom_params(),
+            multisig_scheme=multisig or EcdsaMultiSig(),
+            log_config=params.log_config(),
+            rng=rng,
+            store_factory=provider.storage_for_hsm,
+        )
+        provider.install_update_runner(lambda: provider.log.run_update(fleet.hsms))
+        return Deployment(params=params, fleet=fleet, provider=provider)
+
+    # -- clients -----------------------------------------------------------------
+    def new_client(self, username: str, pin: Optional[str] = None) -> Client:
+        """Create a client holding the authentic mpk.
+
+        ``pin`` is accepted for documentation symmetry but never stored; all
+        PIN-consuming operations take the PIN explicitly.
+        """
+        client = Client(
+            username=username,
+            params=self.params,
+            provider=self.provider,
+            hsm_channel=lambda index: self.fleet[index],
+            mpk=self.fleet.master_public_key(),
+        )
+        self.clients.append(client)
+        return client
+
+    # -- maintenance ----------------------------------------------------------------
+    def run_log_update(self) -> None:
+        self.provider.log.run_update(self.fleet.hsms)
+
+    def rotate_keys_if_needed(self, threshold: Optional[float] = None) -> List[int]:
+        """Rotate any HSM whose Bloom key is half-deleted (§9.1).
+
+        Returns the indices rotated; clients must ``refresh_mpk`` afterwards
+        (the paper's daily keying-material download).
+        """
+        threshold = threshold if threshold is not None else self.params.rotation_threshold
+        rotated = []
+        for hsm in self.fleet.online():
+            if hsm.needs_rotation(threshold):
+                info = hsm.rotate_keys(self.provider.storage_for_hsm(hsm.index))
+                self.membership.record_rotation(info)
+                rotated.append(hsm.index)
+        if rotated:
+            self.provider.log.run_update(self.fleet.hsms)
+            mpk = self.fleet.master_public_key()
+            for client in self.clients:
+                client.refresh_mpk(mpk)
+        return rotated
+
+    def verify_published_keys(self) -> None:
+        """Client-side mpk verification against the logged membership
+        history (raises MembershipViolation on any substitution)."""
+        MembershipVerifier.verify_mpk(
+            self.fleet.master_public_key(), list(self.provider.log.dict.items())
+        )
+
+    def garbage_collect_log(self) -> None:
+        self.provider.log.garbage_collect(self.fleet.hsms)
+
+    # -- fault injection ----------------------------------------------------------------
+    def fail_random_hsms(self, count: int, rng: Optional[random.Random] = None) -> List[int]:
+        return self.fleet.fail_random(count, rng)
+
+    def restart_all_hsms(self) -> None:
+        self.fleet.restart_all()

@@ -1,0 +1,130 @@
+"""The service provider (paper §2).
+
+The provider owns everything *outside* the HSMs' tamper boundaries: bulk
+ciphertext storage, the log state, the outsourced Bloom-filter key blocks,
+and the network between clients and HSMs.  It is **untrusted** — every
+security property must hold even when this component misbehaves, which is
+why the adversary classes in ``repro.adversary`` are provider subclasses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.identifiers import attempt_identifier, user_prefix
+from repro.core.lhe import LheCiphertext
+from repro.log.authdict import InclusionProof
+from repro.log.distributed import DistributedLog, LogConfig
+from repro.storage.blockstore import InMemoryBlockStore
+
+
+class ProviderError(Exception):
+    """The provider could not serve a request (missing data, full budget)."""
+
+
+class ServiceProvider:
+    """Untrusted data-center operator."""
+
+    def __init__(self, log_config: Optional[LogConfig] = None) -> None:
+        self.log = DistributedLog(log_config)
+        # username -> list of uploaded recovery ciphertexts (newest last)
+        self._backups: Dict[str, List[LheCiphertext]] = defaultdict(list)
+        # username -> AE-encrypted incremental backup blobs (§8)
+        self._incrementals: Dict[str, List[bytes]] = defaultdict(list)
+        # (username, attempt) -> encrypted HSM replies (failure handling, §8)
+        self._replies: Dict[Tuple[str, int], List[bytes]] = defaultdict(list)
+        # HSM index -> block store hosting its outsourced BFE secret key
+        self.hsm_stores: Dict[int, InMemoryBlockStore] = {}
+        # Installed by the deployment: runs one log-update epoch on the fleet.
+        self._update_runner: Optional[Callable[[], None]] = None
+
+    # -- wiring ---------------------------------------------------------------
+    def install_update_runner(self, runner: Callable[[], None]) -> None:
+        self._update_runner = runner
+
+    def run_log_update(self) -> None:
+        """Run one update epoch (the paper's every-10-minutes batch)."""
+        if self._update_runner is None:
+            raise ProviderError("no update runner installed")
+        self._update_runner()
+
+    # -- backup storage -----------------------------------------------------------
+    def upload_backup(self, username: str, ciphertext: LheCiphertext) -> int:
+        """Store a recovery ciphertext; returns its index for this user."""
+        self._backups[username].append(ciphertext)
+        return len(self._backups[username]) - 1
+
+    def fetch_backup(self, username: str, index: int = -1) -> LheCiphertext:
+        backups = self._backups.get(username)
+        if not backups:
+            raise ProviderError(f"no backups stored for {username!r}")
+        return backups[index]
+
+    def backup_count(self, username: str) -> int:
+        return len(self._backups.get(username, []))
+
+    def upload_incremental(self, username: str, blob: bytes) -> None:
+        self._incrementals[username].append(blob)
+
+    def fetch_incrementals(self, username: str) -> List[bytes]:
+        return list(self._incrementals.get(username, []))
+
+    # -- the log ---------------------------------------------------------------------
+    def log_recovery_attempt(self, username: str, attempt: int, commitment: bytes) -> bytes:
+        """Insert (rec|user|attempt -> h) into the pending log batch."""
+        identifier = attempt_identifier(username, attempt)
+        self.log.insert(identifier, commitment)
+        return identifier
+
+    def next_attempt_number(self, username: str) -> int:
+        """First unused attempt slot for a user in the current log."""
+        prefix = user_prefix(username)
+        used = set()
+        for identifier, _ in self.log.dict.items():
+            if identifier.startswith(prefix):
+                used.add(identifier)
+        for identifier, _ in self.log.pending:
+            if identifier.startswith(prefix):
+                used.add(identifier)
+        attempt = 0
+        while attempt_identifier(username, attempt) in used:
+            attempt += 1
+        return attempt
+
+    def log_and_prove(
+        self, username: str, attempt: int, commitment: bytes
+    ) -> Tuple[bytes, InclusionProof]:
+        """Insert, run an update epoch, and return the inclusion proof.
+
+        In deployment the client waits for the next periodic epoch; the
+        simulation runs one immediately.
+        """
+        identifier = self.log_recovery_attempt(username, attempt, commitment)
+        self.run_log_update()
+        proof = self.log.prove_includes(identifier, commitment)
+        if proof is None:  # pragma: no cover - insert above guarantees presence
+            raise ProviderError("inclusion proof unavailable after update")
+        return identifier, proof
+
+    def recovery_attempts_for(self, username: str) -> List[Tuple[bytes, bytes]]:
+        """All logged attempts for a user (what a monitoring client checks)."""
+        prefix = user_prefix(username)
+        return [
+            (identifier, value)
+            for identifier, value in self.log.dict.items()
+            if identifier.startswith(prefix)
+        ]
+
+    # -- recovery-reply escrow (§8 failure handling) --------------------------------------
+    def store_reply(self, username: str, attempt: int, encrypted_reply: bytes) -> None:
+        self._replies[(username, attempt)].append(encrypted_reply)
+
+    def fetch_replies(self, username: str, attempt: int) -> List[bytes]:
+        return list(self._replies.get((username, attempt), []))
+
+    # -- outsourced HSM key storage ----------------------------------------------------------
+    def storage_for_hsm(self, index: int) -> InMemoryBlockStore:
+        if index not in self.hsm_stores:
+            self.hsm_stores[index] = InMemoryBlockStore()
+        return self.hsm_stores[index]

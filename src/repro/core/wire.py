@@ -1,0 +1,265 @@
+"""Wire formats: byte-level (de)serialization for protocol messages.
+
+Everything that crosses a trust boundary in SafetyPin — recovery
+ciphertexts uploaded to the provider, decrypt-share requests sent to HSMs,
+HSM replies — is a byte string in deployment.  This module defines a
+compact, self-describing TLV-ish encoding with explicit versioning so the
+formats can evolve.
+
+All decoders are *strict*: trailing bytes, truncation, bad versions, and
+out-of-range lengths raise :class:`WireFormatError` rather than producing
+partially-parsed objects (these inputs arrive from untrusted parties).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.core.lhe import LheCiphertext
+from repro.crypto.bfe import BfeCiphertext
+from repro.crypto.commit import CommitmentOpening
+from repro.crypto.ec import ECPoint
+from repro.crypto.elgamal import ElGamalCiphertext
+from repro.log.authdict import InclusionProof, PathStep
+
+WIRE_VERSION = 1
+
+
+class WireFormatError(Exception):
+    """Malformed or truncated wire data."""
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or self._offset + count > len(self._data):
+            raise WireFormatError("truncated message")
+        out = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def blob(self) -> bytes:
+        return self.take(self.u32())
+
+    def text(self) -> str:
+        try:
+            return self.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("invalid UTF-8") from exc
+
+    def finish(self) -> None:
+        if self._offset != len(self._data):
+            raise WireFormatError(
+                f"{len(self._data) - self._offset} trailing bytes"
+            )
+
+
+def _u32(value: int) -> bytes:
+    if not (0 <= value < 1 << 32):
+        raise WireFormatError("u32 out of range")
+    return struct.pack(">I", value)
+
+
+def _blob(data: bytes) -> bytes:
+    return _u32(len(data)) + data
+
+
+def _text(value: str) -> bytes:
+    return _blob(value.encode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# BFE ciphertexts
+# ---------------------------------------------------------------------------
+def encode_bfe_ciphertext(ct: BfeCiphertext) -> bytes:
+    parts = [
+        _blob(ct.tag),
+        _blob(ct.ephemeral.to_bytes()),
+        _u32(len(ct.wrapped_keys)),
+    ]
+    parts.extend(_blob(w) for w in ct.wrapped_keys)
+    parts.append(_blob(ct.payload))
+    return b"".join(parts)
+
+
+def _decode_bfe_ciphertext(reader: _Reader) -> BfeCiphertext:
+    tag = reader.blob()
+    try:
+        ephemeral = ECPoint.from_bytes(reader.blob())
+    except ValueError as exc:
+        raise WireFormatError(str(exc)) from exc
+    count = reader.u32()
+    if count > 4096:
+        raise WireFormatError("implausible wrapped-key count")
+    wrapped = tuple(reader.blob() for _ in range(count))
+    payload = reader.blob()
+    return BfeCiphertext(tag=tag, ephemeral=ephemeral, wrapped_keys=wrapped, payload=payload)
+
+
+def decode_bfe_ciphertext(data: bytes) -> BfeCiphertext:
+    reader = _Reader(data)
+    ct = _decode_bfe_ciphertext(reader)
+    reader.finish()
+    return ct
+
+
+# ---------------------------------------------------------------------------
+# Recovery (LHE) ciphertexts
+# ---------------------------------------------------------------------------
+def encode_recovery_ciphertext(ct: LheCiphertext) -> bytes:
+    """Serialize the client's uploaded recovery ciphertext (§4.1)."""
+    parts = [
+        bytes([WIRE_VERSION]),
+        _blob(ct.salt),
+        _text(ct.username),
+        _u32(ct.threshold),
+        _u32(ct.num_hsms),
+        _u32(ct.config_epoch),
+        _u32(len(ct.share_ciphertexts)),
+    ]
+    for share_ct in ct.share_ciphertexts:
+        if isinstance(share_ct, BfeCiphertext):
+            parts.append(b"\x01" + encode_bfe_ciphertext(share_ct))
+        elif isinstance(share_ct, ElGamalCiphertext):
+            parts.append(b"\x02" + _blob(share_ct.to_bytes()))
+        else:
+            raise WireFormatError(f"unencodable share ciphertext {type(share_ct)}")
+    parts.append(_blob(ct.payload))
+    return b"".join(parts)
+
+
+def decode_recovery_ciphertext(data: bytes) -> LheCiphertext:
+    reader = _Reader(data)
+    version = reader.u8()
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    salt = reader.blob()
+    username = reader.text()
+    threshold = reader.u32()
+    num_hsms = reader.u32()
+    config_epoch = reader.u32()
+    count = reader.u32()
+    if count > 4096:
+        raise WireFormatError("implausible share count")
+    shares: List[object] = []
+    for _ in range(count):
+        kind = reader.u8()
+        if kind == 1:
+            shares.append(_decode_bfe_ciphertext_framed(reader))
+        elif kind == 2:
+            try:
+                shares.append(ElGamalCiphertext.from_bytes(reader.blob()))
+            except ValueError as exc:
+                raise WireFormatError(str(exc)) from exc
+        else:
+            raise WireFormatError(f"unknown share-ciphertext kind {kind}")
+    payload = reader.blob()
+    reader.finish()
+    return LheCiphertext(
+        salt=salt,
+        username=username,
+        share_ciphertexts=tuple(shares),
+        payload=payload,
+        threshold=threshold,
+        num_hsms=num_hsms,
+        config_epoch=config_epoch,
+    )
+
+
+def _decode_bfe_ciphertext_framed(reader: _Reader) -> BfeCiphertext:
+    return _decode_bfe_ciphertext(reader)
+
+
+# ---------------------------------------------------------------------------
+# Log inclusion proofs
+# ---------------------------------------------------------------------------
+def encode_inclusion_proof(proof: InclusionProof) -> bytes:
+    parts = [_u32(len(proof.steps))]
+    for step in proof.steps:
+        parts.append(_blob(step.idh))
+        parts.append(_blob(step.value))
+        parts.append(_blob(step.other))
+    parts.append(_blob(proof.left))
+    parts.append(_blob(proof.right))
+    return b"".join(parts)
+
+
+def decode_inclusion_proof(data: bytes) -> InclusionProof:
+    reader = _Reader(data)
+    count = reader.u32()
+    if count > 4096:
+        raise WireFormatError("implausible proof depth")
+    steps = tuple(
+        PathStep(idh=reader.blob(), value=reader.blob(), other=reader.blob())
+        for _ in range(count)
+    )
+    left = reader.blob()
+    right = reader.blob()
+    reader.finish()
+    return InclusionProof(steps=steps, left=left, right=right)
+
+
+# ---------------------------------------------------------------------------
+# Decrypt-share requests (client -> HSM, step Ï of Figure 3)
+# ---------------------------------------------------------------------------
+def encode_decrypt_request(request) -> bytes:
+    from repro.hsm.device import DecryptShareRequest  # avoid import cycle
+
+    assert isinstance(request, DecryptShareRequest)
+    return b"".join(
+        [
+            bytes([WIRE_VERSION]),
+            _text(request.username),
+            _blob(request.log_identifier),
+            _blob(request.commitment),
+            _blob(request.opening.to_bytes()),
+            _blob(encode_inclusion_proof(request.inclusion_proof)),
+            _blob(encode_bfe_ciphertext(request.share_ciphertext)),
+            _blob(request.context),
+            _blob(request.response_key.to_bytes()),
+        ]
+    )
+
+
+def decode_decrypt_request(data: bytes):
+    from repro.hsm.device import DecryptShareRequest
+
+    reader = _Reader(data)
+    version = reader.u8()
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    username = reader.text()
+    log_identifier = reader.blob()
+    commitment = reader.blob()
+    try:
+        opening = CommitmentOpening.from_bytes(reader.blob())
+    except ValueError as exc:
+        raise WireFormatError(str(exc)) from exc
+    proof = decode_inclusion_proof(reader.blob())
+    share_ct = decode_bfe_ciphertext(reader.blob())
+    context = reader.blob()
+    try:
+        response_key = ECPoint.from_bytes(reader.blob())
+    except ValueError as exc:
+        raise WireFormatError(str(exc)) from exc
+    reader.finish()
+    return DecryptShareRequest(
+        username=username,
+        log_identifier=log_identifier,
+        commitment=commitment,
+        opening=opening,
+        inclusion_proof=proof,
+        share_ciphertext=share_ct,
+        context=context,
+        response_key=response_key,
+    )

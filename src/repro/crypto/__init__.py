@@ -1,0 +1,42 @@
+"""Cryptographic substrate for the SafetyPin reproduction.
+
+Everything here is implemented from scratch on top of the Python standard
+library (``hashlib``, ``hmac``, ``secrets``): prime fields, NIST P-256,
+hashed ElGamal, AES-128-GCM, Shamir secret sharing, Merkle trees, BLS12-381
+pairings with aggregate signatures, and Bloom-filter puncturable encryption.
+
+The implementations favour clarity and testability over raw speed; they are
+validated against published test vectors where vectors exist (AES, GCM,
+P-256) and against algebraic properties elsewhere (pairing bilinearity,
+share-reconstruction identities).
+"""
+
+_EXPORTS = {
+    "PrimeField": ("repro.crypto.field", "PrimeField"),
+    "FieldElement": ("repro.crypto.field", "FieldElement"),
+    "P256": ("repro.crypto.ec", "P256"),
+    "ECPoint": ("repro.crypto.ec", "ECPoint"),
+    "ECKeyPair": ("repro.crypto.ec", "ECKeyPair"),
+    "HashedElGamal": ("repro.crypto.elgamal", "HashedElGamal"),
+    "ElGamalCiphertext": ("repro.crypto.elgamal", "ElGamalCiphertext"),
+    "AesGcm": ("repro.crypto.gcm", "AesGcm"),
+    "AuthenticationError": ("repro.crypto.gcm", "AuthenticationError"),
+    "ShamirSharer": ("repro.crypto.shamir", "ShamirSharer"),
+    "Share": ("repro.crypto.shamir", "Share"),
+    "MerkleTree": ("repro.crypto.merkle", "MerkleTree"),
+    "MerkleProof": ("repro.crypto.merkle", "MerkleProof"),
+    "BloomFilterEncryption": ("repro.crypto.bfe", "BloomFilterEncryption"),
+    "PuncturedKeyError": ("repro.crypto.bfe", "PuncturedKeyError"),
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.crypto' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

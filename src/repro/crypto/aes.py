@@ -1,0 +1,171 @@
+"""AES-128 block cipher (FIPS 197), pure Python.
+
+Only the pieces SafetyPin needs: key expansion plus the forward and inverse
+ciphers on single 16-byte blocks.  GCM mode (``repro.crypto.gcm``) builds the
+authenticated-encryption scheme the paper's construction calls ``AEEncrypt``/
+``AEDecrypt`` on top of the forward cipher.
+
+Each block operation reports ``aes_block`` to the ambient meter; the paper's
+SoloKey sustains 3,703.7 AES-128 block ops per second (Table 7).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import metering
+
+# -- S-box generation (computed once at import; avoids a 256-entry literal) --
+
+
+def _build_sbox() -> tuple:
+    # Multiplicative inverses in GF(2^8) via log/antilog tables on generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply by 3 = x * 2 ^ x
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inv(b: int) -> int:
+        return 0 if b == 0 else exp[255 - log[b]]
+
+    sbox = [0] * 256
+    for i in range(256):
+        c = inv(i)
+        s = c
+        for _ in range(4):
+            c = ((c << 1) | (c >> 7)) & 0xFF
+            s ^= c
+        sbox[i] = s ^ 0x63
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return tuple(sbox), tuple(inv_sbox), tuple(exp), tuple(log)
+
+
+_SBOX, _INV_SBOX, _EXP, _LOG = _build_sbox()
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication via log tables."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+class Aes128:
+    """AES with a 128-bit key: 10 rounds over a 4x4 byte state."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError("AES-128 requires a 16-byte key")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([w ^ t for w, t in zip(words[i - 4], temp)])
+        # Group into 11 round keys of 16 bytes (column-major state layout).
+        return [sum(words[r * 4 : r * 4 + 4], []) for r in range(11)]
+
+    # -- round operations (state is a flat 16-list, column-major) -----------
+    @staticmethod
+    def _add_round_key(state: List[int], rk: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int], box) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # state[col*4 + row]; row r rotates left by r.
+        s = state
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        s = state
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> List[int]:
+        out = [0] * 16
+        for c in range(4):
+            col = state[c * 4 : c * 4 + 4]
+            out[c * 4 + 0] = _gmul(col[0], 2) ^ _gmul(col[1], 3) ^ col[2] ^ col[3]
+            out[c * 4 + 1] = col[0] ^ _gmul(col[1], 2) ^ _gmul(col[2], 3) ^ col[3]
+            out[c * 4 + 2] = col[0] ^ col[1] ^ _gmul(col[2], 2) ^ _gmul(col[3], 3)
+            out[c * 4 + 3] = _gmul(col[0], 3) ^ col[1] ^ col[2] ^ _gmul(col[3], 2)
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> List[int]:
+        out = [0] * 16
+        for c in range(4):
+            col = state[c * 4 : c * 4 + 4]
+            out[c * 4 + 0] = _gmul(col[0], 14) ^ _gmul(col[1], 11) ^ _gmul(col[2], 13) ^ _gmul(col[3], 9)
+            out[c * 4 + 1] = _gmul(col[0], 9) ^ _gmul(col[1], 14) ^ _gmul(col[2], 11) ^ _gmul(col[3], 13)
+            out[c * 4 + 2] = _gmul(col[0], 13) ^ _gmul(col[1], 9) ^ _gmul(col[2], 14) ^ _gmul(col[3], 11)
+            out[c * 4 + 3] = _gmul(col[0], 11) ^ _gmul(col[1], 13) ^ _gmul(col[2], 9) ^ _gmul(col[3], 14)
+        return out
+
+    # -- block API -----------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        metering.count("aes_block")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, 10):
+            self._sub_bytes(state, _SBOX)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state, _SBOX)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        metering.count("aes_block")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[10])
+        for rnd in range(9, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[rnd])
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

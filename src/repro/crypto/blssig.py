@@ -1,0 +1,119 @@
+"""BLS multisignatures with public-key aggregation (Boneh–Drijvers–Neven).
+
+The distributed log's update protocol (Figure 5) has every online HSM sign
+the digest transition ``(d, d', R)``; the service provider aggregates the
+signatures into a single 48-byte-equivalent value, and each HSM verifies one
+aggregate signature — constant work independent of the fleet size.
+
+Scheme (same-message multisignature):
+
+- secret key ``x``; public key ``X = g2^x``; signature ``σ = H(m)^x ∈ G1``.
+- aggregate signature ``σ* = Π σ_i``; aggregate key ``X* = Π X_i``.
+- verification: ``e(σ*, g2) == e(H(m), X*)``.
+
+Rogue-key attacks are prevented with proofs of possession: each HSM publishes
+``pop = H(pk)^x`` at registration, verified once by everyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro import metering
+from repro.crypto import bls12381 as bls
+
+
+@dataclass(frozen=True)
+class BlsPublicKey:
+    point: object  # G2 point
+
+    def to_bytes(self) -> bytes:
+        return bls.g2_to_bytes(self.point)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "BlsPublicKey":
+        return BlsPublicKey(bls.g2_from_bytes(data))
+
+
+@dataclass(frozen=True)
+class BlsSignature:
+    point: object  # G1 point
+
+    def to_bytes(self) -> bytes:
+        return bls.g1_to_bytes(self.point)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "BlsSignature":
+        return BlsSignature(bls.g1_from_bytes(data))
+
+
+@dataclass(frozen=True)
+class BlsKeyPair:
+    secret: int
+    public: BlsPublicKey
+
+
+def keygen(rng=None) -> BlsKeyPair:
+    if rng is None:
+        import secrets as _s
+
+        sk = 1 + _s.randbelow(bls.R - 1)
+    else:
+        sk = rng.randrange(1, bls.R)
+    return BlsKeyPair(secret=sk, public=BlsPublicKey(bls.multiply(bls.G2_GEN, sk)))
+
+
+def sign(secret: int, message: bytes) -> BlsSignature:
+    metering.count("bls_sign")
+    h = bls.hash_to_g1(message)
+    return BlsSignature(bls.multiply(h, secret))
+
+
+def verify(public: BlsPublicKey, message: bytes, signature: BlsSignature) -> bool:
+    """Single-signer verification: e(σ, g2) == e(H(m), X)."""
+    if signature.point is None:
+        return False
+    left = bls.pairing(signature.point, bls.G2_GEN)
+    right = bls.pairing(bls.hash_to_g1(message), public.point)
+    return left == right
+
+
+def aggregate_signatures(signatures: Iterable[BlsSignature]) -> BlsSignature:
+    acc = None
+    for sig in signatures:
+        acc = bls.add(acc, sig.point)
+    return BlsSignature(acc)
+
+
+def aggregate_public_keys(publics: Iterable[BlsPublicKey]) -> BlsPublicKey:
+    acc = None
+    for pk in publics:
+        acc = bls.add(acc, pk.point)
+    return BlsPublicKey(acc)
+
+
+def verify_aggregate(
+    publics: Sequence[BlsPublicKey], message: bytes, signature: BlsSignature
+) -> bool:
+    """Verify a same-message multisignature against the signer set.
+
+    Cost: two pairings regardless of ``len(publics)`` — the property the log
+    protocol relies on for scalability.
+    """
+    if not publics or signature.point is None:
+        return False
+    agg_pk = aggregate_public_keys(publics)
+    left = bls.pairing(signature.point, bls.G2_GEN)
+    right = bls.pairing(bls.hash_to_g1(message), agg_pk.point)
+    return left == right
+
+
+# -- proofs of possession ------------------------------------------------------
+def prove_possession(keypair: BlsKeyPair) -> BlsSignature:
+    """``pop = H(pk)^sk`` — publishing this prevents rogue-key attacks."""
+    return sign(keypair.secret, b"bls-pop" + keypair.public.to_bytes())
+
+
+def verify_possession(public: BlsPublicKey, pop: BlsSignature) -> bool:
+    return verify(public, b"bls-pop" + public.to_bytes(), pop)

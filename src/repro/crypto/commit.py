@@ -1,0 +1,96 @@
+"""Hash commitments for recovery attempts.
+
+During recovery the client commits to (its username, the identities of its
+chosen cluster, its recovery ciphertext) and logs the commitment ``h``
+(Section 4.2).  Each contacted HSM later receives the *opening* and checks
+that (a) the commitment matches the logged value and (b) the HSM itself is a
+member of the committed cluster.  The commitment is binding and hiding in the
+random-oracle model (SHA-256 with 32 bytes of randomness).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.crypto.hashing import constant_time_equal, sha256
+
+
+@dataclass(frozen=True)
+class CommitmentOpening:
+    """Everything needed to recompute a recovery commitment."""
+
+    username: str
+    cluster: Tuple[int, ...]
+    ciphertext_hash: bytes
+    randomness: bytes
+
+    def commitment(self) -> bytes:
+        return _commit_digest(
+            self.username, self.cluster, self.ciphertext_hash, self.randomness
+        )
+
+    def to_bytes(self) -> bytes:
+        user = self.username.encode("utf-8")
+        out = [
+            len(user).to_bytes(2, "big"),
+            user,
+            len(self.cluster).to_bytes(2, "big"),
+        ]
+        out.extend(i.to_bytes(4, "big") for i in self.cluster)
+        out.append(self.ciphertext_hash)
+        out.append(self.randomness)
+        return b"".join(out)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "CommitmentOpening":
+        ulen = int.from_bytes(data[:2], "big")
+        username = data[2 : 2 + ulen].decode("utf-8")
+        off = 2 + ulen
+        clen = int.from_bytes(data[off : off + 2], "big")
+        off += 2
+        cluster = tuple(
+            int.from_bytes(data[off + 4 * i : off + 4 * i + 4], "big") for i in range(clen)
+        )
+        off += 4 * clen
+        ciphertext_hash = data[off : off + 32]
+        randomness = data[off + 32 : off + 64]
+        if len(randomness) != 32:
+            raise ValueError("truncated commitment opening")
+        return CommitmentOpening(username, cluster, ciphertext_hash, randomness)
+
+
+def _commit_digest(
+    username: str, cluster: Sequence[int], ciphertext_hash: bytes, randomness: bytes
+) -> bytes:
+    cluster_bytes = b"".join(i.to_bytes(4, "big") for i in cluster)
+    return sha256(
+        b"safetypin-recovery-commitment",
+        username.encode("utf-8"),
+        cluster_bytes,
+        ciphertext_hash,
+        randomness,
+    )
+
+
+def commit_recovery(
+    username: str, cluster: Sequence[int], ciphertext_hash: bytes, rng=None
+) -> Tuple[bytes, CommitmentOpening]:
+    """Produce ``(h, opening)`` for a recovery attempt."""
+    if rng is None:
+        randomness = secrets.token_bytes(32)
+    else:
+        randomness = bytes(rng.randrange(256) for _ in range(32))
+    opening = CommitmentOpening(
+        username=username,
+        cluster=tuple(cluster),
+        ciphertext_hash=ciphertext_hash,
+        randomness=randomness,
+    )
+    return opening.commitment(), opening
+
+
+def verify_opening(commitment: bytes, opening: CommitmentOpening) -> bool:
+    """Constant-time check that ``opening`` opens ``commitment``."""
+    return constant_time_equal(commitment, opening.commitment())

@@ -1,0 +1,265 @@
+"""NIST P-256 elliptic-curve arithmetic.
+
+The paper's public-key operations (hashed ElGamal, ECDSA verification in the
+Table 7 microbenchmarks, the "g^x/sec" column of Table 2) all run over NIST
+P-256.  This module implements the curve from scratch:
+
+- Jacobian-coordinate point addition/doubling (no field inversions on the
+  hot path; one inversion to normalize),
+- 4-bit fixed-window scalar multiplication,
+- SEC1 compressed point (de)serialization,
+- key generation and ECDSA sign/verify (RFC 6979-style deterministic nonces).
+
+Scalar multiplications report ``ec_mult`` to the ambient meter; this is the
+paper's fundamental public-key cost unit (SoloKey: 7.69 ops/sec).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro import metering
+from repro.crypto.hashing import hmac_sha256, sha256
+
+# NIST P-256 domain parameters (FIPS 186-4, D.1.2.3).
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+GX = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+GY = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+
+_JPoint = Tuple[int, int, int]  # Jacobian (X, Y, Z); Z == 0 is infinity
+_INFINITY: _JPoint = (1, 1, 0)
+
+
+def _jac_double(pt: _JPoint) -> _JPoint:
+    x, y, z = pt
+    if z == 0 or y == 0:
+        return _INFINITY
+    ysq = (y * y) % P
+    s = (4 * x * ysq) % P
+    m = (3 * x * x + A * z * z * z * z) % P
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = (2 * y * z) % P
+    return nx, ny, nz
+
+
+def _jac_add(p1: _JPoint, p2: _JPoint) -> _JPoint:
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if z1 == 0:
+        return p2
+    if z2 == 0:
+        return p1
+    z1sq = (z1 * z1) % P
+    z2sq = (z2 * z2) % P
+    u1 = (x1 * z2sq) % P
+    u2 = (x2 * z1sq) % P
+    s1 = (y1 * z2sq * z2) % P
+    s2 = (y2 * z1sq * z1) % P
+    if u1 == u2:
+        if s1 != s2:
+            return _INFINITY
+        return _jac_double(p1)
+    h = (u2 - u1) % P
+    r = (s2 - s1) % P
+    hsq = (h * h) % P
+    hcu = (hsq * h) % P
+    nx = (r * r - hcu - 2 * u1 * hsq) % P
+    ny = (r * (u1 * hsq - nx) - s1 * hcu) % P
+    nz = (h * z1 * z2) % P
+    return nx, ny, nz
+
+
+def _jac_to_affine(pt: _JPoint) -> Optional[Tuple[int, int]]:
+    x, y, z = pt
+    if z == 0:
+        return None
+    zinv = pow(z, -1, P)
+    zinv2 = (zinv * zinv) % P
+    return (x * zinv2) % P, (y * zinv2 * zinv) % P
+
+
+def _jac_mult(pt: _JPoint, scalar: int) -> _JPoint:
+    """4-bit fixed-window scalar multiplication."""
+    scalar %= N
+    if scalar == 0:
+        return _INFINITY
+    # Precompute 1..15 multiples of pt.
+    table = [_INFINITY, pt]
+    for _ in range(14):
+        table.append(_jac_add(table[-1], pt))
+    result = _INFINITY
+    for shift in range(scalar.bit_length() + (4 - scalar.bit_length() % 4) % 4 - 4, -1, -4):
+        for _ in range(4):
+            result = _jac_double(result)
+        window = (scalar >> shift) & 0xF
+        if window:
+            result = _jac_add(result, table[window])
+    return result
+
+
+class ECPoint:
+    """An affine point on P-256 (or the point at infinity)."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: Optional[int], y: Optional[int]) -> None:
+        self.x = x
+        self.y = y
+        if x is not None:
+            if not (0 <= x < P and 0 <= y < P):  # type: ignore[operator]
+                raise ValueError("coordinates out of range")
+            if (y * y - (x * x * x + A * x + B)) % P != 0:  # type: ignore[operator]
+                raise ValueError("point is not on P-256")
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def _jac(self) -> _JPoint:
+        if self.is_infinity:
+            return _INFINITY
+        return (self.x, self.y, 1)  # type: ignore[return-value]
+
+    @staticmethod
+    def _from_jac(pt: _JPoint) -> "ECPoint":
+        affine = _jac_to_affine(pt)
+        if affine is None:
+            return ECPoint(None, None)
+        return ECPoint(affine[0], affine[1])
+
+    def __add__(self, other: "ECPoint") -> "ECPoint":
+        return ECPoint._from_jac(_jac_add(self._jac(), other._jac()))
+
+    def __neg__(self) -> "ECPoint":
+        if self.is_infinity:
+            return self
+        return ECPoint(self.x, (-self.y) % P)  # type: ignore[operator]
+
+    def __sub__(self, other: "ECPoint") -> "ECPoint":
+        return self + (-other)
+
+    def __mul__(self, scalar: int) -> "ECPoint":
+        metering.count("ec_mult")
+        return ECPoint._from_jac(_jac_mult(self._jac(), scalar))
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ECPoint) and self.x == other.x and self.y == other.y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self.is_infinity:
+            return "ECPoint(infinity)"
+        return f"ECPoint(x={self.x:#x})"
+
+    # -- SEC1 compressed serialization --------------------------------------
+    def to_bytes(self) -> bytes:
+        if self.is_infinity:
+            return b"\x00"
+        prefix = b"\x03" if self.y & 1 else b"\x02"  # type: ignore[operator]
+        return prefix + self.x.to_bytes(32, "big")  # type: ignore[union-attr]
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "ECPoint":
+        if data == b"\x00":
+            return ECPoint(None, None)
+        if len(data) != 33 or data[0] not in (2, 3):
+            raise ValueError("malformed compressed point")
+        x = int.from_bytes(data[1:], "big")
+        rhs = (pow(x, 3, P) + A * x + B) % P
+        y = pow(rhs, (P + 1) // 4, P)  # P ≡ 3 (mod 4)
+        if (y * y) % P != rhs:
+            raise ValueError("x-coordinate not on curve")
+        if (y & 1) != (data[0] & 1):
+            y = P - y
+        return ECPoint(x, y)
+
+
+class _Curve:
+    """The P-256 group object: generator, order, key generation, ECDSA."""
+
+    def __init__(self) -> None:
+        self.p = P
+        self.a = A
+        self.b = B
+        self.n = N
+        self.generator = ECPoint(GX, GY)
+        self.infinity = ECPoint(None, None)
+
+    # -- keys ---------------------------------------------------------------
+    def random_scalar(self, rng=None) -> int:
+        if rng is None:
+            return 1 + secrets.randbelow(self.n - 1)
+        return rng.randrange(1, self.n)
+
+    def keygen(self, rng=None) -> "ECKeyPair":
+        sk = self.random_scalar(rng)
+        return ECKeyPair(secret=sk, public=self.generator * sk)
+
+    def hash_to_point(self, data: bytes) -> ECPoint:
+        """Try-and-increment hash onto the curve (used for commitments)."""
+        counter = 0
+        while True:
+            digest = sha256(b"p256-h2c", data, counter.to_bytes(4, "big"))
+            candidate = b"\x02" + digest
+            try:
+                return ECPoint.from_bytes(candidate)
+            except ValueError:
+                counter += 1
+
+    # -- ECDSA ----------------------------------------------------------------
+    def ecdsa_sign(self, secret: int, message: bytes) -> Tuple[int, int]:
+        """Deterministic ECDSA (RFC 6979-flavoured nonce derivation)."""
+        z = int.from_bytes(sha256(b"ecdsa", message), "big") % self.n
+        k_seed = hmac_sha256(secret.to_bytes(32, "big"), sha256(b"nonce", message))
+        k = (int.from_bytes(k_seed, "big") % (self.n - 1)) + 1
+        while True:
+            point = self.generator * k
+            r = point.x % self.n  # type: ignore[union-attr]
+            if r == 0:
+                k = (k + 1) % self.n or 1
+                continue
+            s = (pow(k, -1, self.n) * (z + r * secret)) % self.n
+            if s == 0:
+                k = (k + 1) % self.n or 1
+                continue
+            return r, s
+
+    def ecdsa_verify(self, public: ECPoint, message: bytes, signature: Tuple[int, int]) -> bool:
+        metering.count("ecdsa_verify")
+        r, s = signature
+        if not (1 <= r < self.n and 1 <= s < self.n):
+            return False
+        z = int.from_bytes(sha256(b"ecdsa", message), "big") % self.n
+        w = pow(s, -1, self.n)
+        u1 = (z * w) % self.n
+        u2 = (r * w) % self.n
+        # Direct Jacobian computation: u1*G + u2*Q without double-metering.
+        pt = _jac_add(_jac_mult(self.generator._jac(), u1), _jac_mult(public._jac(), u2))
+        affine = _jac_to_affine(pt)
+        if affine is None:
+            return False
+        return affine[0] % self.n == r
+
+
+@dataclass(frozen=True)
+class ECKeyPair:
+    """A P-256 keypair; ``secret`` is an integer scalar, ``public`` a point."""
+
+    secret: int
+    public: ECPoint
+
+
+# The module-level singleton everyone imports.
+P256 = _Curve()

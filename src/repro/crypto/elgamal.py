@@ -1,0 +1,80 @@
+"""Hashed ElGamal public-key encryption over P-256 (Appendix A.4).
+
+The scheme: a keypair is ``(x, g^x)``.  To encrypt message ``m`` to public
+key ``X``, sample ``r``, output ``(g^r, AEEncrypt(Hash'(X^r || context), m))``.
+
+Two properties matter for SafetyPin:
+
+- **Key privacy** (Bellare et al. 2001): the ciphertext reveals nothing about
+  which public key it was encrypted to.  Hashed ElGamal ciphertexts are a
+  uniform group element plus an AE ciphertext under an independent-looking
+  key, so they are key-private — the heart of location hiding.
+- **CCA security**: follows from CDH + the random-oracle KDF + the AE scheme.
+
+The paper prescribes domain separation: the KDF input is prefixed with the
+client's username, the recovery salt, and the n cluster public keys
+(Appendix A.4, last paragraph).  Callers pass that as ``context``.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro import metering
+from repro.crypto.ec import ECKeyPair, ECPoint, P256
+from repro.crypto.gcm import AesGcm, AuthenticationError
+from repro.crypto.hashing import kdf
+
+
+@dataclass(frozen=True)
+class ElGamalCiphertext:
+    """``(g^r, AE ciphertext)`` with the AE nonce folded into the body."""
+
+    ephemeral: ECPoint
+    body: bytes
+
+    def to_bytes(self) -> bytes:
+        return self.ephemeral.to_bytes() + self.body
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "ElGamalCiphertext":
+        if len(data) < 33:
+            raise ValueError("ciphertext too short")
+        return ElGamalCiphertext(
+            ephemeral=ECPoint.from_bytes(data[:33]), body=data[33:]
+        )
+
+    def __len__(self) -> int:
+        return 33 + len(self.body)
+
+
+class HashedElGamal:
+    """Stateless encrypt/decrypt helpers; keys are ``ECKeyPair`` objects."""
+
+    @staticmethod
+    def keygen(rng=None) -> ECKeyPair:
+        return P256.keygen(rng)
+
+    @staticmethod
+    def encrypt(public: ECPoint, plaintext: bytes, context: bytes = b"") -> ElGamalCiphertext:
+        """Encrypt to ``public``; ``context`` provides domain separation."""
+        metering.count("elgamal_enc")
+        r = P256.random_scalar()
+        ephemeral = P256.generator * r
+        shared = public * r
+        key = kdf("hashed-elgamal", shared.to_bytes(), context, length=16)
+        nonce = secrets.token_bytes(AesGcm.NONCE_LEN)
+        body = nonce + AesGcm(key).encrypt(nonce, plaintext, aad=context)
+        return ElGamalCiphertext(ephemeral=ephemeral, body=body)
+
+    @staticmethod
+    def decrypt(secret: int, ciphertext: ElGamalCiphertext, context: bytes = b"") -> bytes:
+        """Decrypt; raises ``AuthenticationError`` on tampering or wrong key."""
+        metering.count("elgamal_dec")
+        shared = ciphertext.ephemeral * secret
+        key = kdf("hashed-elgamal", shared.to_bytes(), context, length=16)
+        nonce = ciphertext.body[: AesGcm.NONCE_LEN]
+        if len(ciphertext.body) < AesGcm.NONCE_LEN + AesGcm.TAG_LEN:
+            raise AuthenticationError("ElGamal body too short")
+        return AesGcm(key).decrypt(nonce, ciphertext.body[AesGcm.NONCE_LEN :], aad=context)

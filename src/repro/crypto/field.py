@@ -1,0 +1,156 @@
+"""Prime-field arithmetic.
+
+A small, explicit GF(p) implementation used by Shamir secret sharing and by
+the elliptic-curve code.  Field elements are immutable value objects; the
+field object owns the modulus and provides Lagrange interpolation (the
+reconstruction step of Shamir sharing).
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Iterable, List, Sequence, Tuple
+
+
+class FieldElement:
+    """An element of GF(p).  Supports ``+ - * / **`` against elements and ints."""
+
+    __slots__ = ("value", "field")
+
+    def __init__(self, value: int, field: "PrimeField") -> None:
+        self.value = value % field.modulus
+        self.field = field
+
+    # -- arithmetic -------------------------------------------------------
+    def _coerce(self, other) -> "FieldElement":
+        if isinstance(other, FieldElement):
+            if other.field is not self.field and other.field.modulus != self.field.modulus:
+                raise ValueError("cannot mix elements of different fields")
+            return other
+        if isinstance(other, int):
+            return FieldElement(other, self.field)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other) -> "FieldElement":
+        other = self._coerce(other)
+        return FieldElement(self.value + other.value, self.field)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "FieldElement":
+        other = self._coerce(other)
+        return FieldElement(self.value - other.value, self.field)
+
+    def __rsub__(self, other) -> "FieldElement":
+        other = self._coerce(other)
+        return FieldElement(other.value - self.value, self.field)
+
+    def __mul__(self, other) -> "FieldElement":
+        other = self._coerce(other)
+        return FieldElement(self.value * other.value, self.field)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "FieldElement":
+        other = self._coerce(other)
+        return self * other.inverse()
+
+    def __rtruediv__(self, other) -> "FieldElement":
+        other = self._coerce(other)
+        return other * self.inverse()
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        return FieldElement(pow(self.value, exponent, self.field.modulus), self.field)
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement(-self.value, self.field)
+
+    def inverse(self) -> "FieldElement":
+        if self.value == 0:
+            raise ZeroDivisionError("inverse of zero in GF(p)")
+        return FieldElement(pow(self.value, -1, self.field.modulus), self.field)
+
+    # -- comparison / hashing ---------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int):
+            return self.value == other % self.field.modulus
+        if isinstance(other, FieldElement):
+            return self.value == other.value and self.field.modulus == other.field.modulus
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.field.modulus))
+
+    def __repr__(self) -> str:
+        return f"FieldElement({self.value} mod {self.field.modulus})"
+
+    # -- serialization ------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(self.field.byte_length, "big")
+
+
+class PrimeField:
+    """GF(p) for a prime modulus p."""
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 2:
+            raise ValueError("modulus must be >= 2")
+        self.modulus = modulus
+        self.byte_length = (modulus.bit_length() + 7) // 8
+
+    def __call__(self, value: int) -> FieldElement:
+        return FieldElement(value, self)
+
+    def zero(self) -> FieldElement:
+        return FieldElement(0, self)
+
+    def one(self) -> FieldElement:
+        return FieldElement(1, self)
+
+    def random(self, rng=None) -> FieldElement:
+        """Uniform random element.  ``rng`` may be a ``random.Random`` for
+        deterministic tests; defaults to the OS CSPRNG."""
+        if rng is None:
+            return FieldElement(secrets.randbelow(self.modulus), self)
+        return FieldElement(rng.randrange(self.modulus), self)
+
+    def from_bytes(self, data: bytes) -> FieldElement:
+        return FieldElement(int.from_bytes(data, "big"), self)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PrimeField) and other.modulus == self.modulus
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.modulus))
+
+    def __repr__(self) -> str:
+        return f"PrimeField(2^{self.modulus.bit_length() - 1}-ish modulus)"
+
+    # -- polynomial helpers (Shamir) ----------------------------------------
+    def eval_poly(self, coeffs: Sequence[FieldElement], x: FieldElement) -> FieldElement:
+        """Evaluate a polynomial given low-to-high coefficients (Horner)."""
+        acc = self.zero()
+        for coeff in reversed(coeffs):
+            acc = acc * x + coeff
+        return acc
+
+    def lagrange_interpolate_at_zero(
+        self, points: Iterable[Tuple[FieldElement, FieldElement]]
+    ) -> FieldElement:
+        """Interpolate the unique degree-(k-1) polynomial through ``points``
+        and evaluate it at x=0.  This is Shamir reconstruction."""
+        pts: List[Tuple[FieldElement, FieldElement]] = list(points)
+        xs = [p[0].value for p in pts]
+        if len(set(xs)) != len(xs):
+            raise ValueError("duplicate x-coordinates in interpolation")
+        total = self.zero()
+        for i, (xi, yi) in enumerate(pts):
+            num = self.one()
+            den = self.one()
+            for j, (xj, _) in enumerate(pts):
+                if i == j:
+                    continue
+                num = num * (-xj)
+                den = den * (xi - xj)
+            total = total + yi * num / den
+        return total

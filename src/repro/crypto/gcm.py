@@ -1,0 +1,125 @@
+"""AES-128-GCM authenticated encryption (NIST SP 800-38D).
+
+This is the paper's ``(AEEncrypt, AEDecrypt)`` scheme: it encrypts the backed
+up disk image under the transport key, wraps Shamir shares inside hashed
+ElGamal, and protects every node of the secure-deletion key tree.
+
+The implementation composes the pure-Python AES core with CTR-mode keystream
+generation and a GHASH tag over (AAD, ciphertext).  Validated against NIST
+GCM test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto.aes import Aes128
+from repro.crypto.hashing import constant_time_equal
+
+
+class AuthenticationError(Exception):
+    """Raised when a GCM tag (or any AE integrity check) fails."""
+
+
+def _ghash_key_tables(h: int):
+    """Precompute shift tables for GHASH multiplication by H."""
+    # Simple bit-serial multiply; adequate for our message sizes.
+    return h
+
+
+def _gf128_mul(x: int, y: int) -> int:
+    """Multiplication in GF(2^128) with the GCM polynomial (bit-reflected)."""
+    # GCM treats bit 0 as the coefficient of x^0 with a *left-to-right*
+    # convention: the MSB of the block is x^0.  Using the standard algorithm
+    # from SP 800-38D section 6.3.
+    r = 0xE1000000000000000000000000000000
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ r
+        else:
+            v >>= 1
+    return z
+
+
+class AesGcm:
+    """AES-128-GCM with 12-byte nonces and 16-byte tags."""
+
+    NONCE_LEN = 12
+    TAG_LEN = 16
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = Aes128(key)
+        self._h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+
+    # -- internals ------------------------------------------------------------
+    def _ghash(self, aad: bytes, ciphertext: bytes) -> bytes:
+        def blocks(data: bytes):
+            for i in range(0, len(data), 16):
+                chunk = data[i : i + 16]
+                yield chunk + b"\x00" * (16 - len(chunk))
+
+        y = 0
+        for block in blocks(aad):
+            y = _gf128_mul(y ^ int.from_bytes(block, "big"), self._h)
+        for block in blocks(ciphertext):
+            y = _gf128_mul(y ^ int.from_bytes(block, "big"), self._h)
+        lengths = (len(aad) * 8).to_bytes(8, "big") + (len(ciphertext) * 8).to_bytes(8, "big")
+        y = _gf128_mul(y ^ int.from_bytes(lengths, "big"), self._h)
+        return y.to_bytes(16, "big")
+
+    def _ctr_stream(self, nonce: bytes, length: int, start_counter: int = 2) -> bytes:
+        out = bytearray()
+        counter = start_counter
+        while len(out) < length:
+            block = nonce + counter.to_bytes(4, "big")
+            out.extend(self._aes.encrypt_block(block))
+            counter += 1
+        return bytes(out[:length])
+
+    def _j0(self, nonce: bytes) -> bytes:
+        if len(nonce) != self.NONCE_LEN:
+            raise ValueError("GCM nonce must be 12 bytes")
+        return nonce + b"\x00\x00\x00\x01"
+
+    # -- public API -------------------------------------------------------------
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Return ciphertext || 16-byte tag."""
+        ciphertext = bytes(
+            p ^ k for p, k in zip(plaintext, self._ctr_stream(nonce, len(plaintext)))
+        )
+        s = self._ghash(aad, ciphertext)
+        tag_mask = self._aes.encrypt_block(self._j0(nonce))
+        tag = bytes(a ^ b for a, b in zip(s, tag_mask))
+        return ciphertext + tag
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag and return the plaintext; raise on any tampering."""
+        if len(data) < self.TAG_LEN:
+            raise AuthenticationError("ciphertext shorter than tag")
+        ciphertext, tag = data[: -self.TAG_LEN], data[-self.TAG_LEN :]
+        s = self._ghash(aad, ciphertext)
+        tag_mask = self._aes.encrypt_block(self._j0(nonce))
+        expect = bytes(a ^ b for a, b in zip(s, tag_mask))
+        if not constant_time_equal(tag, expect):
+            raise AuthenticationError("GCM tag mismatch")
+        return bytes(
+            c ^ k for c, k in zip(ciphertext, self._ctr_stream(nonce, len(ciphertext)))
+        )
+
+
+def ae_encrypt(key: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """One-shot AE with a random nonce prepended (the paper's AEEncrypt)."""
+    nonce = secrets.token_bytes(AesGcm.NONCE_LEN)
+    return nonce + AesGcm(key).encrypt(nonce, plaintext, aad)
+
+
+def ae_decrypt(key: bytes, data: bytes, aad: bytes = b"") -> bytes:
+    """Inverse of :func:`ae_encrypt` (the paper's AEDecrypt)."""
+    if len(data) < AesGcm.NONCE_LEN + AesGcm.TAG_LEN:
+        raise AuthenticationError("AE ciphertext too short")
+    nonce, body = data[: AesGcm.NONCE_LEN], data[AesGcm.NONCE_LEN :]
+    return AesGcm(key).decrypt(nonce, body, aad)

@@ -1,0 +1,30 @@
+"""Simulated HSM fleet and the operation-metering cost model.
+
+``HsmDevice`` reproduces the firmware API of the paper's modified SoloKeys:
+decrypt-and-puncture, log auditing and signing, key rotation, and garbage
+collection, with all secret state held behind the device object.  The cost
+model converts metered operation counts into modeled seconds using the
+paper's measured per-operation rates (Tables 2 and 7), which is how the
+performance figures are reproduced without physical hardware.
+"""
+
+from repro.hsm.devices import DeviceSpec, SOLOKEY, YUBIHSM2, SAFENET_A700, INTEL_I7, PIXEL4
+from repro.hsm.costmodel import CostModel, CostBreakdown, Transport
+from repro.hsm.device import HsmDevice, HsmUnavailableError, HsmRefusedError
+from repro.hsm.fleet import HsmFleet
+
+__all__ = [
+    "DeviceSpec",
+    "SOLOKEY",
+    "YUBIHSM2",
+    "SAFENET_A700",
+    "INTEL_I7",
+    "PIXEL4",
+    "CostModel",
+    "CostBreakdown",
+    "Transport",
+    "HsmDevice",
+    "HsmUnavailableError",
+    "HsmRefusedError",
+    "HsmFleet",
+]

@@ -1,0 +1,389 @@
+"""The simulated hardware security module.
+
+``HsmDevice`` mirrors the firmware the paper adds to SoloKeys (~2,500 lines
+of C): everything the device can be asked to do is a public method; every
+secret lives in private attributes reachable only through those methods (or
+the explicit :meth:`extract_secrets` escape hatch that models physical
+compromise in tests).
+
+Firmware surface:
+
+- ``audit_log_update`` / ``accept_log_digest`` — the HSM side of the
+  Figure 5 protocol.
+- ``decrypt_share`` — the recovery step: check the logged commitment,
+  Bloom-filter-decrypt the client's key share, *puncture*, and reply
+  encrypted under the client's per-recovery public key.
+- ``rotate_keys`` — generate a fresh puncturable keypair once enough slots
+  have been deleted (§9.1: rotation is triggered at half-deleted).
+- ``accept_garbage_collection`` — bounded-count log reset (§6.2).
+- ``fail_stop`` / ``restart`` — fault injection for the f_live experiments.
+
+Every method runs under the device's own :class:`OpMeter`, so benchmarks can
+price exactly what each HSM did on the Table 7 cost model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro import metering
+from repro.crypto.bfe import (
+    BfeCiphertext,
+    BfePublicKey,
+    BfeSecretKey,
+    BloomFilterEncryption,
+    PuncturedKeyError,
+)
+from repro.crypto.bloom import BloomParams
+from repro.crypto.commit import CommitmentOpening, verify_opening
+from repro.core.identifiers import parse_attempt_identifier
+from repro.crypto.ec import ECPoint
+from repro.crypto.elgamal import ElGamalCiphertext, HashedElGamal
+from repro.crypto.gcm import AuthenticationError
+from repro.crypto.merkle import MerkleTree
+from repro.log.authdict import InclusionProof, empty_digest, verify_extension, verify_includes
+from repro.log.distributed import (
+    LogConfig,
+    LogUpdateRejected,
+    MultiSigScheme,
+    UpdateRound,
+    audit_chunk_indices,
+    transition_message,
+)
+from repro.metering import OpMeter
+from repro.storage.blockstore import BlockStore, InMemoryBlockStore
+
+
+class HsmUnavailableError(Exception):
+    """The HSM has fail-stopped (benign hardware failure)."""
+
+
+class HsmRefusedError(Exception):
+    """The HSM refused a request that violates its policy."""
+
+
+@dataclass(frozen=True)
+class HsmPublicInfo:
+    """What an HSM publishes: identity, keys, epoch."""
+
+    index: int
+    bfe_public: BfePublicKey
+    sig_public: object
+    key_epoch: int
+
+
+@dataclass(frozen=True)
+class DecryptShareRequest:
+    """The client's message to one HSM during recovery (step Ï of Fig. 3)."""
+
+    username: str
+    log_identifier: bytes
+    commitment: bytes  # the logged value h
+    opening: CommitmentOpening
+    inclusion_proof: InclusionProof
+    share_ciphertext: BfeCiphertext
+    context: bytes  # BFE domain separation: username || salt || cluster
+    response_key: ECPoint  # fresh per-recovery public key (§8)
+
+
+@dataclass(frozen=True)
+class StolenSecrets:
+    """What a physical attacker extracts from a compromised HSM."""
+
+    index: int
+    bfe_secret: BfeSecretKey
+    sig_secret: int
+    log_digest: bytes
+
+
+class HsmDevice:
+    """One hardware security module in the fleet."""
+
+    def __init__(
+        self,
+        index: int,
+        bloom_params: BloomParams,
+        multisig_scheme: MultiSigScheme,
+        log_config: Optional[LogConfig] = None,
+        store: Optional[BlockStore] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.index = index
+        self.bloom_params = bloom_params
+        self.multisig_scheme = multisig_scheme
+        self.log_config = log_config or LogConfig()
+        self.meter = OpMeter()
+        self.is_failed = False
+        self.key_epoch = 0
+        self.rotations = 0
+        self.garbage_collections_seen = 0
+        self._rng = rng
+        self._store = store if store is not None else InMemoryBlockStore()
+
+        with self.meter.attached():
+            self._bfe_public, self._bfe_secret = BloomFilterEncryption.keygen(
+                bloom_params, self._store, rng
+            )
+            self._sig_keypair = multisig_scheme.keygen(rng)
+        self._log_digest = empty_digest()
+        # Directory of fleet signing keys, installed at provisioning time so
+        # the device can verify aggregate signatures (the paper's aggregate
+        # public key).  index -> public key object.
+        self._sig_directory: Dict[int, object] = {}
+
+    # -- provisioning -------------------------------------------------------
+    def public_info(self) -> HsmPublicInfo:
+        return HsmPublicInfo(
+            index=self.index,
+            bfe_public=self._bfe_public,
+            sig_public=self._sig_keypair.public,
+            key_epoch=self.key_epoch,
+        )
+
+    def install_signer_directory(self, directory: Dict[int, object]) -> None:
+        """Install the fleet's signature public keys (run once at setup)."""
+        self._sig_directory = dict(directory)
+
+    @property
+    def log_digest(self) -> bytes:
+        return self._log_digest
+
+    # -- failure injection -----------------------------------------------------
+    def fail_stop(self) -> None:
+        self.is_failed = True
+
+    def restart(self) -> None:
+        self.is_failed = False
+
+    def _check_alive(self) -> None:
+        if self.is_failed:
+            raise HsmUnavailableError(f"HSM {self.index} has fail-stopped")
+
+    # -- log update protocol (HSM side of Figure 5) ------------------------------
+    def audit_log_update(self, round_: UpdateRound):
+        """Audit C chunks of the proposed update; sign (d, d', R) if clean."""
+        self._check_alive()
+        with self.meter.attached():
+            if round_.old_digest != self._log_digest:
+                raise LogUpdateRejected(
+                    f"HSM {self.index}: update does not build on my digest"
+                )
+            indices = audit_chunk_indices(
+                round_.root, self.index, round_.num_chunks, self.log_config.audit_count
+            )
+            for idx in indices:
+                self._audit_one_chunk(round_, idx)
+            return self.multisig_scheme.sign(
+                self._sig_keypair.secret,
+                transition_message(round_.old_digest, round_.new_digest, round_.root),
+            )
+
+    def audit_specific_chunks(self, round_: UpdateRound, indices: Sequence[int]) -> None:
+        """Appendix B.3 coverage: audit chunks on behalf of a failed peer.
+
+        The caller (the provider) cannot be trusted to pick which chunks to
+        skip — but asking for *extra* audits can only increase scrutiny, so
+        serving this request is safe.
+        """
+        self._check_alive()
+        with self.meter.attached():
+            if round_.old_digest != self._log_digest:
+                raise LogUpdateRejected(
+                    f"HSM {self.index}: coverage request for a foreign digest"
+                )
+            for idx in indices:
+                self._audit_one_chunk(round_, idx)
+
+    def _audit_one_chunk(self, round_: UpdateRound, idx: int) -> None:
+        package, proof = round_.chunk_with_proof(idx)
+        metering.count("io_bytes", package.wire_size())
+        header = package.header
+        if header.index != idx:
+            raise LogUpdateRejected(f"HSM {self.index}: chunk {idx} header index mismatch")
+        if not MerkleTree.verify(round_.root, header.leaf_bytes(), proof) or proof.index != idx:
+            raise LogUpdateRejected(f"HSM {self.index}: chunk {idx} not committed under R")
+        if not package.proofs_consistent():
+            raise LogUpdateRejected(f"HSM {self.index}: chunk {idx} proofs do not match header")
+        if not verify_extension(header.start_digest, header.end_digest, package.proofs):
+            raise LogUpdateRejected(f"HSM {self.index}: chunk {idx} extension proof invalid")
+        if idx == 0:
+            if header.start_digest != round_.old_digest:
+                raise LogUpdateRejected(f"HSM {self.index}: first chunk does not start at d")
+        else:
+            prev_header, prev_proof = round_.header_with_proof(idx - 1)
+            metering.count("io_bytes", len(prev_header.leaf_bytes()))
+            if (
+                not MerkleTree.verify(round_.root, prev_header.leaf_bytes(), prev_proof)
+                or prev_proof.index != idx - 1
+            ):
+                raise LogUpdateRejected(
+                    f"HSM {self.index}: chunk {idx - 1} header not committed under R"
+                )
+            if prev_header.end_digest != header.start_digest:
+                raise LogUpdateRejected(
+                    f"HSM {self.index}: chunk {idx} does not continue chunk {idx - 1}"
+                )
+        if idx == round_.num_chunks - 1 and header.end_digest != round_.new_digest:
+            raise LogUpdateRejected(f"HSM {self.index}: last chunk does not end at d'")
+
+    def accept_log_digest(
+        self, round_: UpdateRound, aggregate, signer_ids: Tuple[int, ...]
+    ) -> None:
+        """Adopt d' after verifying the aggregate signature and quorum."""
+        self._accept_transition(
+            round_.old_digest, round_.new_digest, round_.root, aggregate, signer_ids
+        )
+
+    def accept_certified_transition(self, transition) -> None:
+        """Catch-up path: replay a quorum-signed transition after downtime."""
+        self._accept_transition(
+            transition.old_digest,
+            transition.new_digest,
+            transition.root,
+            transition.aggregate,
+            transition.signer_ids,
+        )
+
+    def _accept_transition(
+        self,
+        old_digest: bytes,
+        new_digest: bytes,
+        root: bytes,
+        aggregate,
+        signer_ids: Tuple[int, ...],
+    ) -> None:
+        self._check_alive()
+        with self.meter.attached():
+            if old_digest != self._log_digest:
+                raise LogUpdateRejected(
+                    f"HSM {self.index}: aggregate is for a different base digest"
+                )
+            unknown = [i for i in signer_ids if i not in self._sig_directory]
+            if unknown:
+                raise LogUpdateRejected(f"HSM {self.index}: unknown signers {unknown}")
+            if len(set(signer_ids)) != len(signer_ids):
+                raise LogUpdateRejected(f"HSM {self.index}: duplicate signers")
+            quorum = self.log_config.quorum_fraction * len(self._sig_directory)
+            if len(signer_ids) < quorum:
+                raise LogUpdateRejected(
+                    f"HSM {self.index}: only {len(signer_ids)} signers, need {quorum:.1f}"
+                )
+            publics = [self._sig_directory[i] for i in signer_ids]
+            message = transition_message(old_digest, new_digest, root)
+            if not self.multisig_scheme.verify_aggregate(publics, message, aggregate):
+                raise LogUpdateRejected(f"HSM {self.index}: aggregate signature invalid")
+            self._log_digest = new_digest
+
+    # -- recovery (step Ð of Figure 3) ---------------------------------------------
+    def decrypt_share(self, request: DecryptShareRequest) -> ElGamalCiphertext:
+        """Verify the logged recovery attempt, decrypt + puncture, reply.
+
+        Raises :class:`HsmRefusedError` if any check fails; raises
+        :class:`PuncturedKeyError` if the share was already recovered.
+        """
+        self._check_alive()
+        with self.meter.attached():
+            # (0) the identifier names this user and an allowed attempt slot
+            try:
+                id_user, attempt_no = parse_attempt_identifier(request.log_identifier)
+            except ValueError as exc:
+                raise HsmRefusedError(f"HSM {self.index}: {exc}") from exc
+            if id_user != request.username:
+                raise HsmRefusedError(
+                    f"HSM {self.index}: log identifier names a different user"
+                )
+            if attempt_no >= self.log_config.max_attempts_per_user:
+                raise HsmRefusedError(
+                    f"HSM {self.index}: attempt {attempt_no} exceeds the per-user limit"
+                )
+            # (1) the recovery attempt is in the log the HSM trusts
+            if not verify_includes(
+                self._log_digest,
+                request.log_identifier,
+                request.commitment,
+                request.inclusion_proof,
+            ):
+                raise HsmRefusedError(
+                    f"HSM {self.index}: recovery attempt not found in the log"
+                )
+            # (2) the opening matches the logged commitment
+            if not verify_opening(request.commitment, request.opening):
+                raise HsmRefusedError(f"HSM {self.index}: bad commitment opening")
+            if request.opening.username != request.username:
+                raise HsmRefusedError(f"HSM {self.index}: username mismatch in opening")
+            # (3) this HSM is actually in the committed recovery cluster
+            if self.index not in request.opening.cluster:
+                raise HsmRefusedError(
+                    f"HSM {self.index}: not a member of the committed cluster"
+                )
+            # (4) decrypt the share; the plaintext must be bound to the user
+            try:
+                plaintext = BloomFilterEncryption.decrypt(
+                    self._bfe_secret, request.share_ciphertext, context=request.context
+                )
+            except AuthenticationError as exc:
+                # Decryption under this HSM's keys/context fails: the client
+                # presented a share that was not encrypted to this device
+                # (e.g. a wrong-PIN cluster that happens to overlap).
+                raise HsmRefusedError(
+                    f"HSM {self.index}: share does not decrypt under my keys"
+                ) from exc
+            username_bytes = request.username.encode("utf-8")
+            prefix = len(username_bytes).to_bytes(2, "big") + username_bytes
+            if not plaintext.startswith(prefix):
+                raise HsmRefusedError(
+                    f"HSM {self.index}: decrypted share is bound to another user"
+                )
+            share_bytes = plaintext[len(prefix):]
+            # (5) forward security: puncture before replying
+            BloomFilterEncryption.puncture(
+                self._bfe_secret, request.share_ciphertext, context=request.context
+            )
+            # (6) reply under the client's fresh per-recovery key (§8)
+            return HashedElGamal.encrypt(
+                request.response_key,
+                share_bytes,
+                context=b"recovery-reply" + username_bytes,
+            )
+
+    # -- key rotation (§9.1) ----------------------------------------------------------
+    def needs_rotation(self, threshold: float = 0.5) -> bool:
+        return self._bfe_secret.needs_rotation(threshold)
+
+    def rotate_keys(self, store: Optional[BlockStore] = None) -> HsmPublicInfo:
+        """Generate a fresh puncturable keypair; bump the key epoch."""
+        self._check_alive()
+        with self.meter.attached():
+            self._store = store if store is not None else InMemoryBlockStore()
+            self._bfe_public, self._bfe_secret = BloomFilterEncryption.keygen(
+                self.bloom_params, self._store, self._rng
+            )
+            self.key_epoch += 1
+            self.rotations += 1
+        return self.public_info()
+
+    # -- garbage collection (§6.2) --------------------------------------------------------
+    def accept_garbage_collection(self) -> None:
+        self._check_alive()
+        if self.garbage_collections_seen >= self.log_config.max_garbage_collections:
+            raise HsmRefusedError(
+                f"HSM {self.index}: garbage-collection budget exhausted"
+            )
+        self.garbage_collections_seen += 1
+        self._log_digest = empty_digest()
+
+    # -- compromise (tests only) --------------------------------------------------------------
+    def extract_secrets(self) -> StolenSecrets:
+        """Model physical compromise: hand out all device secrets.
+
+        This is *not* part of the firmware API; it exists so the security
+        test suite can play the adaptive-corruption adversary of Theorem 10.
+        """
+        return StolenSecrets(
+            index=self.index,
+            bfe_secret=self._bfe_secret,
+            sig_secret=self._sig_keypair.secret,
+            log_digest=self._log_digest,
+        )

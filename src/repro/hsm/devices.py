@@ -1,0 +1,84 @@
+"""Device catalog (paper Table 2).
+
+Hardware security modules are physically hardened but computationally weak;
+the paper's entire design is shaped by this (Table 2: a $20 SoloKey performs
+8 P-256 point multiplications per second while a laptop CPU does 22,338).
+``DeviceSpec`` records the catalog rows; the cost model scales the SoloKey's
+measured per-operation rates (Table 7) to other devices by the ratio of
+their ``gx_per_sec`` columns, exactly as the paper does for Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One row of Table 2."""
+
+    name: str
+    price_usd: float
+    gx_per_sec: float  # NIST P-256 point multiplications per second
+    storage_kb: Optional[int]  # None = effectively unbounded (host CPU)
+    fips_140_2: bool
+    notes: str = ""
+
+    def scale_factor(self) -> float:
+        """Compute-speed multiple relative to the measured SoloKey."""
+        return self.gx_per_sec / SOLOKEY.gx_per_sec
+
+
+# Table 2 rows.  The SoloKey's gx rate here is the Table 7 measured value
+# (7.69/s); Table 2 rounds it to 8.
+SOLOKEY = DeviceSpec(
+    name="SoloKey",
+    price_usd=20.0,
+    gx_per_sec=7.69,
+    storage_kb=256,
+    fips_140_2=False,
+    notes="open-source FIDO2 key; 256 KB shared between code and data",
+)
+
+YUBIHSM2 = DeviceSpec(
+    name="YubiHSM 2",
+    price_usd=650.0,
+    gx_per_sec=14.0,
+    storage_kb=126,
+    fips_140_2=False,
+)
+
+SAFENET_A700 = DeviceSpec(
+    name="SafeNet A700",
+    price_usd=18468.0,
+    gx_per_sec=2000.0,
+    storage_kb=2048,
+    fips_140_2=True,
+    notes="rack-mounted network HSM",
+)
+
+INTEL_I7 = DeviceSpec(
+    name="Intel i7-8569U (CPU)",
+    price_usd=431.0,
+    gx_per_sec=22338.0,
+    storage_kb=None,
+    fips_140_2=False,
+    notes="no physical security; reference point only",
+)
+
+# The client device of the evaluation (Google Pixel 4).  Not in Table 2; its
+# rate is calibrated so that the modeled client backup time matches the
+# paper's measured 0.34 s of public-key work (Figure 10): a backup performs
+# n·(k+1) = 40·5 = 200 point multiplications, giving 200/0.34 ≈ 590/s.
+PIXEL4 = DeviceSpec(
+    name="Google Pixel 4",
+    price_usd=799.0,
+    gx_per_sec=590.0,
+    storage_kb=None,
+    fips_140_2=False,
+    notes="client phone; rate calibrated to the paper's save-time measurement",
+)
+
+ALL_HSMS = (SOLOKEY, YUBIHSM2, SAFENET_A700)
+CATALOG = (SOLOKEY, YUBIHSM2, SAFENET_A700, INTEL_I7)

@@ -1,0 +1,42 @@
+"""The distributed append-only log (paper §6, Appendix B).
+
+The service provider stores the full log; HSMs hold only a constant-size
+digest.  Clients insert ``(identifier, value)`` pairs (recovery attempts);
+the provider batches insertions and runs the Figure 5 update protocol, in
+which each HSM audits a random subset of update chunks and the fleet
+multi-signs each digest transition.  The core guarantee: once any honest HSM
+accepts that ``(id, val)`` is in the log, no honest HSM will ever accept
+``(id, val')`` for ``val' != val`` — identifiers are write-once, which is
+what bounds PIN-guessing attempts.
+"""
+
+from repro.log.authdict import AuthenticatedDictionary, InclusionProof, InsertionProof
+from repro.log.distributed import (
+    DistributedLog,
+    LogUpdateRejected,
+    EcdsaMultiSig,
+    BlsMultiSig,
+)
+from repro.log.auditor import ExternalAuditor, AuditFailure
+from repro.log.membership import (
+    MembershipEvent,
+    MembershipRegistry,
+    MembershipVerifier,
+    MembershipViolation,
+)
+
+__all__ = [
+    "MembershipEvent",
+    "MembershipRegistry",
+    "MembershipVerifier",
+    "MembershipViolation",
+    "AuthenticatedDictionary",
+    "InclusionProof",
+    "InsertionProof",
+    "DistributedLog",
+    "LogUpdateRejected",
+    "EcdsaMultiSig",
+    "BlsMultiSig",
+    "ExternalAuditor",
+    "AuditFailure",
+]

@@ -1,0 +1,461 @@
+"""The Figure 5 log-update protocol.
+
+Flow per epoch (the provider batches client insertions, e.g. every 10
+minutes):
+
+1. The provider splits the ``I`` pending insertions into ``N`` chunks and
+   applies them to its log one chunk at a time, recording each intermediate
+   digest ``d_i`` and per-chunk extension proof ``π_i``.
+2. It commits to the chunk sequence with a Merkle root ``R`` and announces
+   ``(d, d', R)`` to every HSM.
+3. Each HSM audits ``C`` chunks — chosen deterministically from ``(R, its
+   node id)`` per Appendix B.3, so any HSM can predict every other HSM's
+   audit set and failures are recoverable — fetching each chunk package and
+   checking (a) its Merkle inclusion under ``R``, (b) its extension proofs,
+   and (c) boundary conditions (first chunk starts at ``d``, last ends at
+   ``d'``).  If all pass, the HSM signs ``(d, d', R)``.
+4. The provider aggregates the signatures; each HSM verifies the aggregate
+   against the expected signer set and, if a quorum signed, adopts ``d'``.
+
+With at most an ``f_secret`` fraction compromised and ``C = λ`` audited
+chunks each, the probability that a bad chunk escapes every honest auditor
+is ``exp((2·f_secret − 1)·C)`` (§6.2) — about ``2^-128`` at the paper's
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto import blssig
+from repro.crypto.ec import ECKeyPair, P256
+from repro.crypto.hashing import sha256
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.log.authdict import AuthenticatedDictionary, InsertionProof
+
+
+class LogUpdateRejected(Exception):
+    """An HSM refused a log update (bad proof, bad signature, bad quorum)."""
+
+
+# ---------------------------------------------------------------------------
+# Pluggable multisignature schemes
+# ---------------------------------------------------------------------------
+class MultiSigScheme:
+    """Interface for the signature scheme used to endorse digest transitions.
+
+    The paper uses BLS multisignatures (constant-size aggregate, constant
+    verification cost).  We also provide a concatenated-ECDSA scheme: a valid
+    but non-compact aggregate, ~500× faster to run in pure Python, used by
+    default in tests.  The benchmark for Figure 8 accounts costs for BLS, as
+    deployed.
+    """
+
+    name = "abstract"
+
+    def keygen(self, rng=None):
+        raise NotImplementedError
+
+    def sign(self, secret, message: bytes):
+        raise NotImplementedError
+
+    def aggregate(self, signatures: Sequence):
+        raise NotImplementedError
+
+    def verify_aggregate(self, publics: Sequence, message: bytes, aggregate) -> bool:
+        raise NotImplementedError
+
+
+class EcdsaMultiSig(MultiSigScheme):
+    """Aggregate = tuple of per-signer ECDSA signatures over P-256."""
+
+    name = "ecdsa-list"
+
+    def keygen(self, rng=None) -> ECKeyPair:
+        return P256.keygen(rng)
+
+    def sign(self, secret: int, message: bytes) -> Tuple[int, int]:
+        return P256.ecdsa_sign(secret, message)
+
+    def aggregate(self, signatures: Sequence[Tuple[int, int]]):
+        return tuple(signatures)
+
+    def verify_aggregate(self, publics, message: bytes, aggregate) -> bool:
+        if len(publics) != len(aggregate):
+            return False
+        return all(
+            P256.ecdsa_verify(pk.public if isinstance(pk, ECKeyPair) else pk, message, sig)
+            for pk, sig in zip(publics, aggregate)
+        )
+
+
+class BlsMultiSig(MultiSigScheme):
+    """The paper's scheme: BLS multisignature, two pairings to verify."""
+
+    name = "bls"
+
+    def keygen(self, rng=None) -> blssig.BlsKeyPair:
+        return blssig.keygen(rng)
+
+    def sign(self, secret: int, message: bytes) -> blssig.BlsSignature:
+        return blssig.sign(secret, message)
+
+    def aggregate(self, signatures: Sequence[blssig.BlsSignature]) -> blssig.BlsSignature:
+        return blssig.aggregate_signatures(signatures)
+
+    def verify_aggregate(self, publics, message: bytes, aggregate) -> bool:
+        pks = [
+            pk.public if isinstance(pk, blssig.BlsKeyPair) else pk for pk in publics
+        ]
+        return blssig.verify_aggregate(pks, message, aggregate)
+
+
+# ---------------------------------------------------------------------------
+# Chunk packages
+# ---------------------------------------------------------------------------
+def _serialize_proofs(proofs: Sequence[InsertionProof]) -> bytes:
+    parts = [len(proofs).to_bytes(4, "big")]
+    for proof in proofs:
+        parts.append(len(proof.identifier).to_bytes(4, "big"))
+        parts.append(proof.identifier)
+        parts.append(len(proof.value).to_bytes(4, "big"))
+        parts.append(proof.value)
+        parts.append(len(proof.steps).to_bytes(4, "big"))
+        for step in proof.steps:
+            parts.append(step.idh)
+            parts.append(len(step.value).to_bytes(4, "big"))
+            parts.append(step.value)
+            parts.append(step.other)
+    return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class ChunkHeader:
+    """The committed summary of one chunk: its digest transition plus a hash
+    binding the chunk's extension proofs.
+
+    Headers are small, so an auditor of chunk ``i`` can also fetch header
+    ``i-1`` cheaply to check boundary continuity (chunk i must start where
+    chunk i-1 ended) — with every chunk audited by some honest HSM, the full
+    chain d → d' is then verified end to end.
+    """
+
+    index: int
+    start_digest: bytes
+    end_digest: bytes
+    proofs_hash: bytes
+
+    def leaf_bytes(self) -> bytes:
+        """Canonical serialization committed under the Merkle root R."""
+        return b"".join(
+            [
+                self.index.to_bytes(4, "big"),
+                self.start_digest,
+                self.end_digest,
+                self.proofs_hash,
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class ChunkPackage:
+    """One audited unit: a header plus the chunk's extension proofs."""
+
+    header: ChunkHeader
+    proofs: Tuple[InsertionProof, ...]
+
+    @staticmethod
+    def build(
+        index: int, start_digest: bytes, end_digest: bytes, proofs: Sequence[InsertionProof]
+    ) -> "ChunkPackage":
+        proofs = tuple(proofs)
+        header = ChunkHeader(
+            index=index,
+            start_digest=start_digest,
+            end_digest=end_digest,
+            proofs_hash=sha256(b"chunk-proofs", _serialize_proofs(proofs)),
+        )
+        return ChunkPackage(header=header, proofs=proofs)
+
+    def proofs_consistent(self) -> bool:
+        return self.header.proofs_hash == sha256(
+            b"chunk-proofs", _serialize_proofs(self.proofs)
+        )
+
+    def wire_size(self) -> int:
+        """Approximate bytes on the wire (for I/O cost accounting)."""
+        return len(self.header.leaf_bytes()) + len(_serialize_proofs(self.proofs))
+
+
+def transition_message(old_digest: bytes, new_digest: bytes, root: bytes) -> bytes:
+    """The message every HSM signs: the tuple (d, d', R)."""
+    return sha256(b"log-transition", old_digest, new_digest, root)
+
+
+def audit_chunk_indices(
+    root: bytes, hsm_id: int, num_chunks: int, audit_count: int
+) -> List[int]:
+    """Appendix B.3 deterministic audit-set: a function of (R, node id).
+
+    Determinism means every HSM can recompute every other HSM's audit set,
+    so when an HSM fails mid-audit the survivors can recursively cover its
+    chunks; and the provider cannot grind R freely, since moving R moves
+    every HSM's audit set at once.
+    """
+    if num_chunks <= 0:
+        return []
+    picks: List[int] = []
+    seed = sha256(b"audit-chunks", root, hsm_id.to_bytes(8, "big"))
+    counter = 0
+    bound = (1 << 64) - ((1 << 64) % num_chunks)
+    want = min(audit_count, num_chunks)
+    seen = set()
+    while len(picks) < want:
+        block = sha256(seed, counter.to_bytes(8, "big"))
+        counter += 1
+        for off in range(0, 32, 8):
+            draw = int.from_bytes(block[off : off + 8], "big")
+            if draw >= bound:
+                continue
+            idx = draw % num_chunks
+            if idx in seen:
+                continue
+            seen.add(idx)
+            picks.append(idx)
+            if len(picks) == want:
+                break
+    return picks
+
+
+# ---------------------------------------------------------------------------
+# The provider-side log driver
+# ---------------------------------------------------------------------------
+@dataclass
+class LogConfig:
+    """Tunables of the log protocol."""
+
+    audit_count: int = 4  # the paper's C = λ = 128; tests use fewer
+    quorum_fraction: float = 0.9  # fraction of known HSMs that must sign
+    max_garbage_collections: int = 24  # HSMs refuse further GCs after this
+    max_attempts_per_user: int = 5  # recovery attempts allowed per user per log
+
+
+@dataclass(frozen=True)
+class CertifiedTransition:
+    """A digest transition plus the quorum's aggregate signature over it."""
+
+    old_digest: bytes
+    new_digest: bytes
+    root: bytes
+    aggregate: object
+    signer_ids: Tuple[int, ...]
+
+
+@dataclass
+class UpdateRound:
+    """Everything the provider publishes for one update epoch.
+
+    HSMs treat this object as the (untrusted) provider's response oracle;
+    adversarial providers subclass it to serve inconsistent data, which the
+    HSM-side Merkle checks must catch.
+    """
+
+    old_digest: bytes
+    new_digest: bytes
+    root: bytes
+    num_chunks: int
+    chunks: List[ChunkPackage]
+    tree: MerkleTree
+
+    def chunk_with_proof(self, index: int) -> Tuple[ChunkPackage, MerkleProof]:
+        return self.chunks[index], self.tree.prove(index)
+
+    def header_with_proof(self, index: int) -> Tuple[ChunkHeader, MerkleProof]:
+        return self.chunks[index].header, self.tree.prove(index)
+
+
+class DistributedLog:
+    """The service provider's log state plus the update-protocol driver.
+
+    This class is *untrusted* in the threat model: adversaries subclass it
+    (see ``repro.adversary``) to serve bogus chunks, rewrite entries, or
+    replay stale digests, and the HSM-side checks must catch every attempt.
+    """
+
+    def __init__(self, config: Optional[LogConfig] = None) -> None:
+        self.config = config or LogConfig()
+        self.dict = AuthenticatedDictionary()
+        self.ordered_entries: List[Tuple[bytes, bytes]] = []
+        self.pending: List[Tuple[bytes, bytes]] = []
+        self.epoch = 0
+        self.garbage_collections = 0
+        self.archived_logs: List[List[Tuple[bytes, bytes]]] = []
+        self.round_history: List[Tuple[bytes, bytes, bytes]] = []
+        self.certified_transitions: List[CertifiedTransition] = []
+
+    # -- client-facing ----------------------------------------------------------
+    def insert(self, identifier: bytes, value: bytes) -> None:
+        """Queue an identifier-value pair for the next update epoch."""
+        if identifier in self.dict or any(i == identifier for i, _ in self.pending):
+            raise KeyError(f"identifier already defined: {identifier!r}")
+        self.pending.append((identifier, value))
+
+    def get(self, identifier: bytes) -> Optional[bytes]:
+        return self.dict.get(identifier)
+
+    @property
+    def digest(self) -> bytes:
+        return self.dict.digest
+
+    def prove_includes(self, identifier: bytes, value: bytes):
+        return self.dict.prove_includes(identifier, value)
+
+    # -- the Figure 5 update round ------------------------------------------------
+    def prepare_update(self, num_chunks: int) -> UpdateRound:
+        """Apply pending insertions chunk-by-chunk and commit to the round."""
+        old_digest = self.dict.digest
+        pending, self.pending = self.pending, []
+        num_chunks = max(1, min(num_chunks, max(1, len(pending))))
+        chunk_size = (len(pending) + num_chunks - 1) // num_chunks if pending else 0
+
+        chunks: List[ChunkPackage] = []
+        for i in range(num_chunks):
+            start = self.dict.digest
+            batch = pending[i * chunk_size : (i + 1) * chunk_size] if pending else []
+            proofs = []
+            for identifier, value in batch:
+                proofs.append(self.dict.insert_with_proof(identifier, value))
+                self.ordered_entries.append((identifier, value))
+            chunks.append(
+                ChunkPackage.build(
+                    index=i,
+                    start_digest=start,
+                    end_digest=self.dict.digest,
+                    proofs=proofs,
+                )
+            )
+        tree = MerkleTree([c.header.leaf_bytes() for c in chunks])
+        round_ = UpdateRound(
+            old_digest=old_digest,
+            new_digest=self.dict.digest,
+            root=tree.root,
+            num_chunks=num_chunks,
+            chunks=chunks,
+            tree=tree,
+        )
+        self.epoch += 1
+        self.round_history.append((old_digest, self.dict.digest, tree.root))
+        return round_
+
+    def run_update(self, hsms: Sequence) -> None:
+        """Drive a full epoch against the fleet; restart on fail-stops.
+
+        ``hsms`` are duck-typed: each must offer ``audit_log_update`` and
+        ``accept_log_digest`` (see ``repro.hsm.device.HsmDevice``) and an
+        ``is_failed`` attribute.
+        """
+        online = [h for h in hsms if not h.is_failed]
+        round_ = self.prepare_update(num_chunks=max(1, len(online)))
+        self.certify_round(round_, hsms)
+
+    def certify_round(self, round_: UpdateRound, hsms: Sequence) -> None:
+        """Collect audits + signatures for an already-prepared round."""
+        online = [h for h in hsms if not h.is_failed]
+        # HSMs that rejoined after missing rounds first replay the chain of
+        # certified transitions from their stale digest to the current one.
+        for hsm in online:
+            if hsm.log_digest != round_.old_digest:
+                self.catch_up(hsm)
+        signatures = []
+        signer_ids = []
+        survivors = []
+        for hsm in online:
+            try:
+                sig = hsm.audit_log_update(round_)
+            except Exception as exc:
+                if getattr(hsm, "is_failed", False):
+                    continue  # fail-stopped mid-audit: B.3 coverage below
+                raise
+            signatures.append(sig)
+            signer_ids.append(hsm.index)
+            survivors.append(hsm)
+        if not signatures:
+            raise LogUpdateRejected("no online HSMs to certify the update")
+        # Appendix B.3: audit sets are deterministic in (R, node id), so the
+        # survivors can recompute which chunks the failed HSMs would have
+        # audited and recursively cover any gap.
+        uncovered = self._uncovered_chunks(round_, signer_ids)
+        if uncovered:
+            self._cover_chunks(round_, survivors, uncovered)
+        scheme = online[0].multisig_scheme
+        aggregate = scheme.aggregate(signatures)
+        for hsm in online:
+            hsm.accept_log_digest(round_, aggregate, tuple(signer_ids))
+        self.certified_transitions.append(
+            CertifiedTransition(
+                old_digest=round_.old_digest,
+                new_digest=round_.new_digest,
+                root=round_.root,
+                aggregate=aggregate,
+                signer_ids=tuple(signer_ids),
+            )
+        )
+
+    def _uncovered_chunks(self, round_: UpdateRound, signer_ids: Sequence[int]) -> List[int]:
+        """Chunks not in any signer's deterministic audit set."""
+        covered = set()
+        for signer in signer_ids:
+            covered.update(
+                audit_chunk_indices(
+                    round_.root, signer, round_.num_chunks, self.config.audit_count
+                )
+            )
+        return [i for i in range(round_.num_chunks) if i not in covered]
+
+    def _cover_chunks(self, round_: UpdateRound, survivors: Sequence, chunks: List[int]) -> None:
+        """B.3 recursive coverage: survivors re-audit the orphaned chunks.
+
+        Work is spread round-robin; any failure here is a genuine rejection
+        (the provider really served a bad chunk), so it propagates.
+        """
+        if not survivors:
+            raise LogUpdateRejected("no survivors available to cover audits")
+        for position, chunk_index in enumerate(chunks):
+            hsm = survivors[position % len(survivors)]
+            hsm.audit_specific_chunks(round_, [chunk_index])
+
+    def catch_up(self, hsm) -> None:
+        """Replay quorum-signed digest transitions to a lagging HSM.
+
+        A rejoining HSM never trusts the provider's word for the current
+        digest: it verifies each transition's aggregate signature, exactly
+        as it would have live.
+        """
+        chain = self.certified_transitions
+        position = None
+        for i, transition in enumerate(chain):
+            if transition.old_digest == hsm.log_digest:
+                position = i
+                break
+        if position is None:
+            return  # nothing applicable; the HSM will reject the round
+        for transition in chain[position:]:
+            hsm.accept_certified_transition(transition)
+
+    # -- garbage collection -------------------------------------------------------
+    def garbage_collect(self, hsms: Sequence) -> None:
+        """Reset the log (resets every user's attempt counter — §6.2).
+
+        The old log is archived so auditors can still replay history.  HSMs
+        count GCs and refuse after ``max_garbage_collections``, bounding how
+        often a malicious provider can reset PIN-attempt limits.
+        """
+        self.archived_logs.append(list(self.ordered_entries))
+        for hsm in hsms:
+            if not hsm.is_failed:
+                hsm.accept_garbage_collection()
+        self.dict = AuthenticatedDictionary()
+        self.ordered_entries = []
+        self.pending = []
+        self.garbage_collections += 1

@@ -1,0 +1,21 @@
+"""Outsourced storage with secure deletion (paper §7.2–7.3, Appendix C).
+
+HSMs have kilobytes of storage but Bloom-filter-encryption secret keys are
+megabytes.  The HSM therefore outsources the key array to the *untrusted*
+service provider and keeps only a single root AES key.  The Di Crescenzo
+key tree gives logarithmic-time reads and secure deletion: deleting a block
+re-keys the root-to-leaf path, after which no provider snapshot plus current
+HSM state can recover the deleted block.
+"""
+
+from repro.storage.blockstore import BlockStore, InMemoryBlockStore, TamperingBlockStore
+from repro.storage.securedel import SecureDeletionTree, NaiveSecureStore, DeletedBlockError
+
+__all__ = [
+    "BlockStore",
+    "InMemoryBlockStore",
+    "TamperingBlockStore",
+    "SecureDeletionTree",
+    "NaiveSecureStore",
+    "DeletedBlockError",
+]

@@ -1,0 +1,109 @@
+"""Untrusted external block stores.
+
+The paper models the service provider as an oracle ``S`` with
+``S.Get(addr)`` and ``S.Put(addr, block)`` (Appendix C).  The provider is
+untrusted: it may return stale, corrupted, or swapped blocks.  The secure-
+deletion layer must *detect* all such tampering (integrity) and guarantee
+that deleted plaintext is unrecoverable even given every block the provider
+ever saw plus the HSM's post-deletion state (secure deletion).
+
+``TamperingBlockStore`` implements that adversary for the test suite: it
+remembers every version of every block ever written and can be instructed to
+corrupt, replay, or swap blocks on future reads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from repro import metering
+
+
+class BlockStore:
+    """Abstract provider-side block oracle."""
+
+    def get(self, addr: int) -> bytes:
+        raise NotImplementedError
+
+    def put(self, addr: int, block: bytes) -> None:
+        raise NotImplementedError
+
+    def __contains__(self, addr: int) -> bool:
+        raise NotImplementedError
+
+
+class InMemoryBlockStore(BlockStore):
+    """An honest provider: a dict of address -> block.
+
+    Reads and writes report ``io_bytes`` to the ambient meter — in the real
+    system every block crosses the USB transport between host and HSM, and
+    that I/O dominates puncturable-decryption cost (Figure 9).
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, bytes] = {}
+
+    def get(self, addr: int) -> bytes:
+        block = self._blocks[addr]
+        metering.count("io_bytes", len(block))
+        return block
+
+    def put(self, addr: int, block: bytes) -> None:
+        metering.count("io_bytes", len(block))
+        self._blocks[addr] = block
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blocks.values())
+
+
+class TamperingBlockStore(InMemoryBlockStore):
+    """A malicious provider for integrity / secure-deletion tests.
+
+    - keeps a full history of every version of every block (an attacker
+      snapshotting its own storage),
+    - ``corrupt(addr)`` flips a bit of a stored block,
+    - ``replay(addr, version)`` serves a stale version on the next read,
+    - ``swap(a, b)`` swaps two blocks,
+    - ``intercept`` lets tests install an arbitrary read transformer.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.history: Dict[int, List[bytes]] = defaultdict(list)
+        self._replay_next: Dict[int, bytes] = {}
+        self.intercept: Optional[Callable[[int, bytes], bytes]] = None
+
+    def put(self, addr: int, block: bytes) -> None:
+        self.history[addr].append(block)
+        super().put(addr, block)
+
+    def get(self, addr: int) -> bytes:
+        if addr in self._replay_next:
+            stale = self._replay_next.pop(addr)
+            metering.count("io_bytes", len(stale))
+            return stale
+        block = super().get(addr)
+        if self.intercept is not None:
+            block = self.intercept(addr, block)
+        return block
+
+    def corrupt(self, addr: int, bit: int = 0) -> None:
+        block = bytearray(self._blocks[addr])
+        block[bit // 8] ^= 1 << (bit % 8)
+        self._blocks[addr] = bytes(block)
+
+    def replay(self, addr: int, version: int = 0) -> None:
+        self._replay_next[addr] = self.history[addr][version]
+
+    def swap(self, addr_a: int, addr_b: int) -> None:
+        self._blocks[addr_a], self._blocks[addr_b] = (
+            self._blocks[addr_b],
+            self._blocks[addr_a],
+        )

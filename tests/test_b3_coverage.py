@@ -1,0 +1,92 @@
+"""Appendix B.3: making progress despite failures during the audit."""
+
+import random
+
+import pytest
+
+from repro.crypto.bloom import BloomParams
+from repro.hsm.fleet import HsmFleet
+from repro.log.distributed import (
+    DistributedLog,
+    LogConfig,
+    LogUpdateRejected,
+    audit_chunk_indices,
+)
+
+
+@pytest.fixture
+def small_world():
+    cfg = LogConfig(audit_count=1, quorum_fraction=0.4)
+    fleet = HsmFleet(
+        6,
+        BloomParams.for_punctures(4, failure_exponent=4),
+        log_config=cfg,
+        rng=random.Random(13),
+    )
+    return fleet, DistributedLog(cfg), cfg
+
+
+class TestCoverage:
+    def test_uncovered_chunks_computed_from_deterministic_sets(self, small_world):
+        fleet, log, cfg = small_world
+        for i in range(12):
+            log.insert(b"c%d" % i, b"h")
+        round_ = log.prepare_update(num_chunks=6)
+        all_ids = [h.index for h in fleet]
+        uncovered_all = log._uncovered_chunks(round_, all_ids)
+        # With audit_count=1 and 6 HSMs over 6 chunks, some chunks may be
+        # uncovered; dropping signers can only grow the uncovered set.
+        uncovered_some = log._uncovered_chunks(round_, all_ids[:2])
+        assert set(uncovered_all) <= set(uncovered_some)
+        log.certify_round(round_, fleet.hsms)
+
+    def test_round_completes_when_hsm_fails_mid_audit(self, small_world):
+        """An HSM dying between prepare and audit must not stall the epoch:
+        survivors cover its chunks and the digest still certifies."""
+        fleet, log, cfg = small_world
+        for i in range(12):
+            log.insert(b"m%d" % i, b"h")
+        round_ = log.prepare_update(num_chunks=6)
+        fleet[3].fail_stop()
+        log.certify_round(round_, fleet.hsms)
+        assert fleet[0].log_digest == log.digest
+        assert fleet[3].log_digest != log.digest
+
+    def test_survivors_catch_tampering_in_covered_chunks(self, small_world):
+        """Coverage audits are real audits: if the provider tampers with a
+        chunk that only a failed HSM would have audited, a survivor covering
+        it must still reject."""
+        import dataclasses
+
+        fleet, log, cfg = small_world
+        for i in range(12):
+            log.insert(b"t%d" % i, b"h")
+        round_ = log.prepare_update(num_chunks=6)
+        signer_ids = [h.index for h in fleet]
+        # Find a chunk covered by few HSMs; tamper with it and fail those.
+        coverage = {
+            i: [
+                s
+                for s in signer_ids
+                if i in audit_chunk_indices(round_.root, s, round_.num_chunks, cfg.audit_count)
+            ]
+            for i in range(round_.num_chunks)
+        }
+        target = min(coverage, key=lambda i: len(coverage[i]))
+        for hsm_index in coverage[target]:
+            fleet[hsm_index].fail_stop()
+        if len(fleet.online()) < 2:
+            pytest.skip("degenerate draw: almost all HSMs audit the target chunk")
+        round_.chunks[target] = dataclasses.replace(round_.chunks[target], proofs=())
+        with pytest.raises(LogUpdateRejected):
+            log.certify_round(round_, fleet.hsms)
+
+    def test_coverage_request_checks_base_digest(self, small_world):
+        import dataclasses
+
+        fleet, log, cfg = small_world
+        log.insert(b"x", b"h")
+        round_ = log.prepare_update(num_chunks=2)
+        forged = dataclasses.replace(round_, old_digest=b"\x00" * 32)
+        with pytest.raises(LogUpdateRejected):
+            fleet[0].audit_specific_chunks(forged, [0])

@@ -1,0 +1,110 @@
+"""The fixed-cluster baseline and its (reproduced) weaknesses."""
+
+import pytest
+
+from repro.baseline.system import (
+    BaselineRecoveryError,
+    BaselineSystem,
+    PinAttemptsExhausted,
+)
+from repro.crypto.elgamal import HashedElGamal
+
+
+class TestHappyPath:
+    def test_roundtrip(self):
+        system = BaselineSystem()
+        client = system.new_client("alice")
+        client.backup(b"recovery-key-16b", pin="123456")
+        assert client.recover(pin="123456") == b"recovery-key-16b"
+
+    def test_wrong_pin_rejected(self):
+        system = BaselineSystem()
+        client = system.new_client("alice")
+        client.backup(b"recovery-key-16b", pin="123456")
+        with pytest.raises(BaselineRecoveryError):
+            client.recover(pin="654321")
+
+    def test_ciphertext_is_tiny(self):
+        """The paper: ~130 B baseline vs 16.5 KB SafetyPin."""
+        system = BaselineSystem()
+        client = system.new_client("alice")
+        ct = client.backup(b"recovery-key-16b", pin="123456")
+        assert ct.size_bytes() < 200
+
+
+class TestFaultTolerance:
+    def test_failover_within_cluster(self):
+        system = BaselineSystem()
+        client = system.new_client("alice")
+        client.backup(b"recovery-key-16b", pin="123456")
+        cluster = system.cluster_for("alice")
+        for hsm in cluster[:4]:
+            hsm.fail_stop()
+        assert client.recover(pin="123456") == b"recovery-key-16b"
+
+    def test_whole_cluster_down_fails(self):
+        system = BaselineSystem()
+        client = system.new_client("alice")
+        client.backup(b"recovery-key-16b", pin="123456")
+        for hsm in system.cluster_for("alice"):
+            hsm.fail_stop()
+        with pytest.raises(BaselineRecoveryError):
+            client.recover(pin="123456")
+
+
+class TestAttemptLimiting:
+    def test_per_hsm_counter(self):
+        system = BaselineSystem(max_attempts=3)
+        client = system.new_client("alice")
+        client.backup(b"recovery-key-16b", pin="123456")
+        hsm = system.cluster_for("alice")[0]
+        ct = system.fetch("alice")
+        from repro.baseline.system import _pin_hash
+
+        wrong = _pin_hash("000000", ct.salt)
+        for _ in range(3):
+            with pytest.raises(BaselineRecoveryError):
+                hsm.recover(ct, wrong)
+        with pytest.raises(PinAttemptsExhausted):
+            hsm.recover(ct, wrong)
+
+    def test_independent_counters_multiply_attack_budget(self):
+        """The baseline's documented weakness: counters are per-HSM, so an
+        attacker gets max_attempts x CLUSTER_SIZE guesses in total."""
+        system = BaselineSystem(max_attempts=2)
+        client = system.new_client("alice")
+        client.backup(b"recovery-key-16b", pin="123456")
+        ct = system.fetch("alice")
+        from repro.baseline.system import _pin_hash
+
+        total_guesses = 0
+        for hsm in system.cluster_for("alice"):
+            for _ in range(2):
+                try:
+                    hsm.recover(ct, _pin_hash("000000", ct.salt))
+                except BaselineRecoveryError:
+                    total_guesses += 1
+                except PinAttemptsExhausted:
+                    break
+        assert total_guesses == 10  # 2 x 5, vs SafetyPin's global limit
+
+
+class TestSinglePointOfFailure:
+    def test_one_stolen_hsm_breaks_every_user(self):
+        """The motivating attack: extract one baseline HSM's key and decrypt
+        every ciphertext in its cluster offline — no PIN needed beyond a
+        trivially parallelizable offline brute force; here we read the
+        plaintext directly since the PIN hash is inside the ciphertext."""
+        system = BaselineSystem()
+        users = {}
+        for i in range(5):
+            name = f"user{i}"
+            client = system.new_client(name)
+            key = bytes([i]) * 16
+            client.backup(key, pin="123456")
+            users[name] = key
+        stolen_secret = system.clusters[0][0].extract_secrets()
+        for name, key in users.items():
+            ct = system.fetch(name)
+            plaintext = HashedElGamal.decrypt(stolen_secret, ct.body, context=b"baseline")
+            assert plaintext[32:] == key  # recovery key exposed, sans PIN

@@ -1,0 +1,110 @@
+"""Bloom-filter (puncturable) encryption."""
+
+import pytest
+
+from repro.crypto.bfe import (
+    BfePublicKey,
+    BloomFilterEncryption as BFE,
+    PuncturedKeyError,
+)
+from repro.crypto.bloom import BloomParams
+from repro.storage.blockstore import InMemoryBlockStore
+
+
+@pytest.fixture(scope="module")
+def small_params():
+    return BloomParams.for_punctures(8, failure_exponent=4)
+
+
+@pytest.fixture
+def keypair(small_params):
+    return BFE.keygen(small_params, InMemoryBlockStore())
+
+
+class TestRoundtrip:
+    def test_encrypt_decrypt(self, keypair):
+        pub, sec = keypair
+        ct = BFE.encrypt(pub, b"payload", context=b"ctx")
+        assert BFE.decrypt(sec, ct, context=b"ctx") == b"payload"
+
+    def test_context_binding(self, keypair):
+        pub, sec = keypair
+        ct = BFE.encrypt(pub, b"payload", context=b"user-a")
+        with pytest.raises(Exception):
+            BFE.decrypt(sec, ct, context=b"user-b")
+
+    def test_large_payload(self, keypair):
+        pub, sec = keypair
+        message = bytes(range(256)) * 40
+        ct = BFE.encrypt(pub, message, context=b"c")
+        assert BFE.decrypt(sec, ct, context=b"c") == message
+
+
+class TestPuncturing:
+    def test_punctured_ciphertext_is_dead(self, keypair):
+        pub, sec = keypair
+        ct = BFE.encrypt(pub, b"secret", context=b"c")
+        BFE.puncture(sec, ct, context=b"c")
+        with pytest.raises(PuncturedKeyError):
+            BFE.decrypt(sec, ct, context=b"c")
+
+    def test_other_ciphertexts_survive(self, keypair):
+        pub, sec = keypair
+        ct1 = BFE.encrypt(pub, b"one", context=b"c")
+        ct2 = BFE.encrypt(pub, b"two", context=b"c")
+        BFE.puncture(sec, ct1, context=b"c")
+        assert BFE.decrypt(sec, ct2, context=b"c") == b"two"
+
+    def test_puncture_is_idempotent(self, keypair):
+        pub, sec = keypair
+        ct = BFE.encrypt(pub, b"x", context=b"c")
+        BFE.puncture(sec, ct, context=b"c")
+        BFE.puncture(sec, ct, context=b"c")
+        assert sec.punctures_done == 2
+        # slots deleted counted once
+        assert sec.slots_deleted <= sec.params.num_hashes
+
+    def test_rotation_trigger(self, keypair):
+        pub, sec = keypair
+        assert not sec.needs_rotation()
+        punctures = 0
+        while not sec.needs_rotation() and punctures < 50:
+            ct = BFE.encrypt(pub, b"x", context=b"c")
+            BFE.puncture(sec, ct, context=b"c")
+            punctures += 1
+        assert sec.needs_rotation()
+        assert sec.fraction_deleted() >= 0.5
+
+    def test_forward_security_with_full_state(self, small_params):
+        """Even an attacker holding every provider-side block *and* the
+        post-puncture HSM root key cannot decrypt a punctured ciphertext."""
+        store = InMemoryBlockStore()
+        pub, sec = BFE.keygen(small_params, store)
+        ct = BFE.encrypt(pub, b"forward secret", context=b"c")
+        BFE.puncture(sec, ct, context=b"c")
+        # Attacker clones all current storage + HSM state; still dead:
+        with pytest.raises(PuncturedKeyError):
+            BFE.decrypt(sec, ct, context=b"c")
+
+
+class TestPublicKey:
+    def test_slot_proofs(self, keypair):
+        pub, _ = keypair
+        for index in (0, 1, pub.params.num_slots - 1):
+            proof = pub.slot_proof(index)
+            assert pub.verify_slot(index, pub.slot_pubkeys[index], proof)
+
+    def test_wrong_slot_rejected(self, keypair):
+        pub, _ = keypair
+        proof = pub.slot_proof(0)
+        assert not pub.verify_slot(0, pub.slot_pubkeys[1], proof)
+        assert not pub.verify_slot(1, pub.slot_pubkeys[0], proof)
+
+    def test_size_accounting(self, keypair):
+        pub, _ = keypair
+        assert pub.size_bytes() == 33 * pub.params.num_slots
+
+    def test_commitment_differs_between_keys(self, small_params):
+        pub1, _ = BFE.keygen(small_params, InMemoryBlockStore())
+        pub2, _ = BFE.keygen(small_params, InMemoryBlockStore())
+        assert pub1.commitment != pub2.commitment

@@ -1,0 +1,74 @@
+"""Block stores and the tampering adversary's toolkit."""
+
+import pytest
+
+from repro.metering import metered
+from repro.storage.blockstore import InMemoryBlockStore, TamperingBlockStore
+
+
+class TestInMemory:
+    def test_put_get(self):
+        store = InMemoryBlockStore()
+        store.put(5, b"hello")
+        assert store.get(5) == b"hello"
+        assert 5 in store
+        assert 6 not in store
+
+    def test_overwrite(self):
+        store = InMemoryBlockStore()
+        store.put(1, b"a")
+        store.put(1, b"b")
+        assert store.get(1) == b"b"
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            InMemoryBlockStore().get(0)
+
+    def test_io_metering(self):
+        store = InMemoryBlockStore()
+        with metered() as meter:
+            store.put(0, b"12345678")
+            store.get(0)
+        assert meter.counts["io_bytes"] == 16
+
+    def test_size_accounting(self):
+        store = InMemoryBlockStore()
+        store.put(0, b"abc")
+        store.put(1, b"de")
+        assert len(store) == 2
+        assert store.total_bytes() == 5
+
+
+class TestTampering:
+    def test_history_recorded(self):
+        store = TamperingBlockStore()
+        store.put(0, b"v1")
+        store.put(0, b"v2")
+        assert store.history[0] == [b"v1", b"v2"]
+
+    def test_corrupt_flips_bit(self):
+        store = TamperingBlockStore()
+        store.put(0, bytes(4))
+        store.corrupt(0, bit=9)
+        assert store.get(0) == bytes([0, 2, 0, 0])
+
+    def test_replay_serves_stale_once(self):
+        store = TamperingBlockStore()
+        store.put(0, b"old")
+        store.put(0, b"new")
+        store.replay(0, version=0)
+        assert store.get(0) == b"old"
+        assert store.get(0) == b"new"
+
+    def test_swap(self):
+        store = TamperingBlockStore()
+        store.put(0, b"a")
+        store.put(1, b"b")
+        store.swap(0, 1)
+        assert store.get(0) == b"b" and store.get(1) == b"a"
+
+    def test_intercept_hook(self):
+        store = TamperingBlockStore()
+        store.put(0, b"abc")
+        store.intercept = lambda addr, block: block[::-1]
+        assert store.get(0) == b"cba"

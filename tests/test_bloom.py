@@ -1,0 +1,83 @@
+"""Bloom-filter parameterization for puncturable encryption."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.bloom import BloomParams
+
+
+class TestSizing:
+    def test_paper_scale_key_size(self):
+        """§7.1: at 2^20 punctures the secret key exceeds 64 MB."""
+        params = BloomParams.for_punctures(1 << 20, failure_exponent=16)
+        assert params.secret_key_bytes(element_size=32) > 64 * 1024 * 1024
+
+    def test_slots_grow_linearly_with_punctures(self):
+        small = BloomParams.for_punctures(100)
+        large = BloomParams.for_punctures(1000)
+        ratio = large.num_slots / small.num_slots
+        assert 9 < ratio < 11
+
+    def test_hash_count_tracks_failure_exponent(self):
+        # k = (m/n) ln2 with m = n·λ/ln2² gives k ≈ λ·(1/ln2)·ln2 = λ/... ≈ 1.44λ·ln2
+        params = BloomParams.for_punctures(64, failure_exponent=20)
+        assert abs(params.num_hashes - round(20 / math.log(2) * math.log(2) ** 2 / math.log(2))) <= 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BloomParams.for_punctures(0)
+        with pytest.raises(ValueError):
+            BloomParams.for_punctures(4, failure_exponent=0)
+
+
+class TestSlotSelection:
+    def test_deterministic(self):
+        params = BloomParams.for_punctures(16, failure_exponent=8)
+        assert params.slots_for_tag(b"tag") == params.slots_for_tag(b"tag")
+
+    def test_distinct_slots(self):
+        params = BloomParams.for_punctures(16, failure_exponent=8)
+        slots = params.slots_for_tag(b"tag")
+        assert len(set(slots)) == len(slots) == params.num_hashes
+
+    def test_in_range(self):
+        params = BloomParams.for_punctures(16, failure_exponent=8)
+        for tag in (b"a", b"b", b"c"):
+            assert all(0 <= s < params.num_slots for s in params.slots_for_tag(tag))
+
+    def test_tag_sensitivity(self):
+        params = BloomParams.for_punctures(64, failure_exponent=8)
+        assert params.slots_for_tag(b"t1") != params.slots_for_tag(b"t2")
+
+    def test_more_hashes_than_slots_rejected(self):
+        bad = BloomParams(num_slots=2, num_hashes=5, max_punctures=1, failure_exponent=1)
+        with pytest.raises(ValueError):
+            bad.slots_for_tag(b"t")
+
+    @given(tag=st.binary(min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_slot_properties(self, tag):
+        params = BloomParams.for_punctures(8, failure_exponent=6)
+        slots = params.slots_for_tag(tag)
+        assert len(slots) == params.num_hashes
+        assert len(set(slots)) == len(slots)
+
+
+class TestFailureProbability:
+    def test_zero_before_any_puncture(self):
+        params = BloomParams.for_punctures(16)
+        assert params.failure_probability(0) == 0.0
+
+    def test_monotone_increasing(self):
+        params = BloomParams.for_punctures(16, failure_exponent=8)
+        probs = [params.failure_probability(i) for i in range(0, 30, 3)]
+        assert probs == sorted(probs)
+
+    def test_design_point(self):
+        """At exactly max_punctures the failure rate should be near the
+        designed 2^-λ (within a factor from rounding m and k)."""
+        params = BloomParams.for_punctures(128, failure_exponent=10)
+        p = params.failure_probability(128)
+        assert p < 2**-8  # designed for 2^-10; allow rounding slack

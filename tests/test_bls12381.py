@@ -1,0 +1,126 @@
+"""BLS12-381: field tower, curve groups, pairing bilinearity.
+
+Pairings in pure Python cost ~1s each, so this file computes few of them
+and reuses results across assertions.
+"""
+
+import pytest
+
+from repro.crypto import bls12381 as bls
+
+
+class TestFieldTower:
+    def test_fq_arithmetic(self):
+        a = bls.Fq(5)
+        assert a + 3 == bls.Fq(8)
+        assert a * a == bls.Fq(25)
+        assert (a / a) == bls.Fq(1)
+        assert a * a.inv() == bls.Fq(1)
+        assert -a == bls.Fq(bls.Q - 5)
+        assert a ** 3 == bls.Fq(125)
+
+    def test_fq_zero_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            bls.Fq(0).inv()
+
+    def test_fq2_is_complex_like(self):
+        # u^2 = -1
+        u = bls.Fq2([0, 1])
+        assert u * u == -bls.Fq2.one()
+
+    def test_fq2_inverse(self):
+        x = bls.Fq2([3, 7])
+        assert x * x.inv() == bls.Fq2.one()
+
+    def test_fq2_conjugate_norm(self):
+        x = bls.Fq2([3, 7])
+        norm = x * x.conjugate()
+        assert norm.coeffs[1] == 0  # norm lands in Fq
+
+    def test_fq12_inverse(self):
+        x = bls.Fq12([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+        assert x * x.inv() == bls.Fq12.one()
+
+    def test_fq12_modulus_relation(self):
+        # w^12 = 2w^6 - 2
+        w = bls.Fq12([0, 1] + [0] * 10)
+        w6 = w ** 6
+        assert w ** 12 == w6 * 2 - bls.Fq12([2] + [0] * 11)
+
+    def test_coefficient_count_enforced(self):
+        with pytest.raises(ValueError):
+            bls.Fq2([1, 2, 3])
+
+
+class TestCurveGroups:
+    def test_generators_on_curve(self):
+        assert bls.is_on_curve(bls.G1_GEN, bls.B1)
+        assert bls.is_on_curve(bls.G2_GEN, bls.B2)
+
+    def test_group_orders(self):
+        assert bls.multiply(bls.G1_GEN, bls.R) is None
+        assert bls.multiply(bls.G2_GEN, bls.R) is None
+
+    def test_addition_laws(self):
+        p2 = bls.add(bls.G1_GEN, bls.G1_GEN)
+        assert p2 == bls.double(bls.G1_GEN) == bls.multiply(bls.G1_GEN, 2)
+        p5 = bls.add(bls.multiply(bls.G1_GEN, 2), bls.multiply(bls.G1_GEN, 3))
+        assert p5 == bls.multiply(bls.G1_GEN, 5)
+
+    def test_identity_and_inverse(self):
+        assert bls.add(bls.G1_GEN, None) == bls.G1_GEN
+        assert bls.add(bls.G1_GEN, bls.neg(bls.G1_GEN)) is None
+
+    def test_twist_lands_on_fq12_curve(self):
+        twisted = bls.twist(bls.G2_GEN)
+        assert bls.is_on_curve(twisted, bls.Fq12([4] + [0] * 11))
+
+
+class TestSerialization:
+    def test_g1_roundtrip(self):
+        p = bls.multiply(bls.G1_GEN, 7)
+        assert bls.g1_from_bytes(bls.g1_to_bytes(p)) == p
+
+    def test_g2_roundtrip(self):
+        p = bls.multiply(bls.G2_GEN, 7)
+        assert bls.g2_from_bytes(bls.g2_to_bytes(p)) == p
+
+    def test_infinity_roundtrip(self):
+        assert bls.g1_from_bytes(bls.g1_to_bytes(None)) is None
+        assert bls.g2_from_bytes(bls.g2_to_bytes(None)) is None
+
+    def test_off_curve_rejected(self):
+        bad = b"\x01" + (1).to_bytes(48, "big") + (1).to_bytes(48, "big")
+        with pytest.raises(ValueError):
+            bls.g1_from_bytes(bad)
+        with pytest.raises(ValueError):
+            bls.g1_from_bytes(b"junk")
+
+
+class TestHashToG1:
+    def test_in_subgroup(self):
+        h = bls.hash_to_g1(b"message")
+        assert bls.is_on_curve(h, bls.B1)
+        assert bls.multiply(h, bls.R) is None
+
+    def test_deterministic_and_distinct(self):
+        assert bls.hash_to_g1(b"a") == bls.hash_to_g1(b"a")
+        assert bls.hash_to_g1(b"a") != bls.hash_to_g1(b"b")
+
+
+class TestPairing:
+    def test_bilinearity_and_nondegeneracy(self):
+        e = bls.pairing(bls.G1_GEN, bls.G2_GEN)
+        assert e != bls.Fq12.one()
+        assert e ** bls.R == bls.Fq12.one()
+        e2a = bls.pairing(bls.multiply(bls.G1_GEN, 2), bls.G2_GEN)
+        e2b = bls.pairing(bls.G1_GEN, bls.multiply(bls.G2_GEN, 2))
+        assert e2a == e * e == e2b
+
+    def test_identity_pairs_to_one(self):
+        assert bls.pairing(None, bls.G2_GEN) == bls.Fq12.one()
+        assert bls.pairing(bls.G1_GEN, None) == bls.Fq12.one()
+
+    def test_off_curve_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bls.pairing((bls.Fq(1), bls.Fq(1)), bls.G2_GEN)

@@ -1,0 +1,80 @@
+"""BLS multisignatures with public-key aggregation."""
+
+import random
+
+import pytest
+
+from repro.crypto import blssig
+
+
+@pytest.fixture(scope="module")
+def keypairs():
+    rng = random.Random(99)
+    return [blssig.keygen(rng) for _ in range(3)]
+
+
+MESSAGE = b"log digest transition (d, d', R)"
+
+
+@pytest.fixture(scope="module")
+def signatures(keypairs):
+    return [blssig.sign(kp.secret, MESSAGE) for kp in keypairs]
+
+
+class TestSingleSigner:
+    def test_verify(self, keypairs, signatures):
+        assert blssig.verify(keypairs[0].public, MESSAGE, signatures[0])
+
+    def test_wrong_message(self, keypairs, signatures):
+        assert not blssig.verify(keypairs[0].public, b"other", signatures[0])
+
+    def test_wrong_key(self, keypairs, signatures):
+        assert not blssig.verify(keypairs[1].public, MESSAGE, signatures[0])
+
+    def test_empty_signature(self, keypairs):
+        assert not blssig.verify(keypairs[0].public, MESSAGE, blssig.BlsSignature(None))
+
+
+class TestAggregation:
+    def test_aggregate_verifies(self, keypairs, signatures):
+        aggregate = blssig.aggregate_signatures(signatures)
+        publics = [kp.public for kp in keypairs]
+        assert blssig.verify_aggregate(publics, MESSAGE, aggregate)
+
+    def test_subset_of_signers_rejected(self, keypairs, signatures):
+        aggregate = blssig.aggregate_signatures(signatures)
+        publics = [kp.public for kp in keypairs[:2]]
+        assert not blssig.verify_aggregate(publics, MESSAGE, aggregate)
+
+    def test_partial_aggregate_rejected(self, keypairs, signatures):
+        aggregate = blssig.aggregate_signatures(signatures[:2])
+        publics = [kp.public for kp in keypairs]
+        assert not blssig.verify_aggregate(publics, MESSAGE, aggregate)
+
+    def test_empty_signers_rejected(self, signatures):
+        aggregate = blssig.aggregate_signatures(signatures)
+        assert not blssig.verify_aggregate([], MESSAGE, aggregate)
+
+    def test_single_signer_aggregate(self, keypairs, signatures):
+        aggregate = blssig.aggregate_signatures(signatures[:1])
+        assert blssig.verify_aggregate([keypairs[0].public], MESSAGE, aggregate)
+
+
+class TestProofOfPossession:
+    def test_valid_pop(self, keypairs):
+        pop = blssig.prove_possession(keypairs[0])
+        assert blssig.verify_possession(keypairs[0].public, pop)
+
+    def test_pop_does_not_transfer(self, keypairs):
+        pop = blssig.prove_possession(keypairs[0])
+        assert not blssig.verify_possession(keypairs[1].public, pop)
+
+
+class TestSerialization:
+    def test_public_key_roundtrip(self, keypairs):
+        pk = keypairs[0].public
+        assert blssig.BlsPublicKey.from_bytes(pk.to_bytes()).point == pk.point
+
+    def test_signature_roundtrip(self, signatures):
+        sig = signatures[0]
+        assert blssig.BlsSignature.from_bytes(sig.to_bytes()).point == sig.point

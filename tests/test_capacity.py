@@ -1,0 +1,108 @@
+"""Throughput / cost planning (Figure 12, Table 14)."""
+
+import pytest
+
+from repro.crypto.bloom import BloomParams
+from repro.hsm.devices import SAFENET_A700, SOLOKEY, YUBIHSM2
+from repro.sim.capacity import (
+    build_throughput_model,
+    fig12_series,
+    plan_deployment,
+    recoveries_per_year,
+    storage_cost_per_year,
+)
+
+
+@pytest.fixture(scope="module")
+def solokey_model():
+    return build_throughput_model(SOLOKEY)
+
+
+class TestThroughputModel:
+    def test_decrypt_puncture_order_of_magnitude(self, solokey_model):
+        """Figure 10: puncturable decryption dominates the 1.01 s recovery;
+        our modeled per-HSM decrypt+puncture must land in the same regime
+        (hundreds of milliseconds, not tens of seconds or microseconds)."""
+        assert 0.1 < solokey_model.decrypt_puncture_seconds < 3.0
+
+    def test_rotation_is_hours(self, solokey_model):
+        """§9.1: key rotation takes roughly 75 hours on a SoloKey."""
+        hours = solokey_model.rotation_seconds / 3600
+        assert 20 < hours < 200
+
+    def test_rotation_duty_near_half(self, solokey_model):
+        """§9.1: each HSM spends roughly 56% of its cycles rotating keys."""
+        assert 0.3 < solokey_model.rotation_duty_fraction < 0.8
+
+    def test_recoveries_per_hour_near_paper(self, solokey_model):
+        """§9.1: 1,503.9 decrypt-and-puncture operations per hour."""
+        assert 500 < solokey_model.recoveries_per_hour < 4500
+
+    def test_faster_device_higher_throughput(self):
+        solo = build_throughput_model(SOLOKEY)
+        safenet = build_throughput_model(SAFENET_A700)
+        assert safenet.recoveries_per_hour > solo.recoveries_per_hour
+
+
+class TestFleetThroughput:
+    def test_paper_fleet_supports_a_billion(self, solokey_model):
+        """§9.2: N = 3,100 SoloKeys support ~1B recoveries/year at n=40."""
+        annual = recoveries_per_year(3100, 40, solokey_model)
+        assert 0.3e9 < annual < 3e9
+
+    def test_scaling_is_linear_in_fleet(self, solokey_model):
+        one = recoveries_per_year(1000, 40, solokey_model)
+        two = recoveries_per_year(2000, 40, solokey_model)
+        assert two == pytest.approx(2 * one)
+
+    def test_larger_cluster_costs_throughput(self, solokey_model):
+        at40 = recoveries_per_year(1000, 40, solokey_model)
+        at80 = recoveries_per_year(1000, 80, solokey_model)
+        assert at80 == pytest.approx(at40 / 2)
+
+
+class TestDeploymentPlanning:
+    def test_solokey_plan_near_table14(self, solokey_model):
+        """Table 14: 3,037 SoloKeys, 189 tolerated-evil, ≈$60.7K."""
+        plan = plan_deployment(SOLOKEY, 1e9, throughput=solokey_model)
+        assert 1000 < plan.quantity < 10000
+        assert plan.tolerated_evil == plan.quantity // 16
+        assert plan.hardware_cost_usd == plan.quantity * 20.0
+        assert plan.recoveries_per_year >= 1e9
+
+    def test_yubihsm_plan_costlier(self, solokey_model):
+        solo = plan_deployment(SOLOKEY, 1e9, throughput=solokey_model)
+        yubi = plan_deployment(YUBIHSM2, 1e9)
+        assert yubi.hardware_cost_usd > solo.hardware_cost_usd
+
+    def test_safenet_needs_few_units(self):
+        """Table 14: a cluster of ~40 SafeNet A700s meets 1B/year."""
+        plan = plan_deployment(SAFENET_A700, 1e9)
+        assert plan.quantity < 200
+
+    def test_min_quantity_respected(self):
+        plan = plan_deployment(SAFENET_A700, 1e9, min_quantity=800)
+        assert plan.quantity == 800
+
+    def test_describe_renders(self, solokey_model):
+        text = plan_deployment(SOLOKEY, 1e9, throughput=solokey_model).describe()
+        assert "SoloKey" in text and "N_evil" in text
+
+
+class TestFig12:
+    def test_series_monotone_and_ordered(self):
+        budgets = [0.5e6, 1e6, 2e6, 5e6]
+        series = fig12_series([SOLOKEY, YUBIHSM2, SAFENET_A700], budgets)
+        for device, points in series.items():
+            values = [annual for _, annual in points]
+            assert values == sorted(values)
+        # the paper's headline: per dollar, SoloKeys beat the big iron
+        solo_at_1m = dict(series[SOLOKEY.name])[1e6]
+        yubi_at_1m = dict(series[YUBIHSM2.name])[1e6]
+        assert solo_at_1m > yubi_at_1m
+
+
+class TestStorageCost:
+    def test_table14_footnote(self):
+        """'Estimated cost of storing 4 GB × 10^9 users per year: $600M'."""
+        assert storage_cost_per_year(1e9, 4.0) == pytest.approx(600e6)

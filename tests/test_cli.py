@@ -1,0 +1,39 @@
+"""CLI smoke tests (each command exercises the real stack)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.hsms == 16 and args.pin == "4927"
+
+
+class TestCommands:
+    def test_params(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "N = 3100" in out
+        assert "Bloom key" in out
+        assert "Thm 10" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--users", "1e8", "--pin-digits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "n = 40" in out
+        assert "SoloKey" in out
+
+    def test_demo_small(self, capsys):
+        assert main(
+            ["demo", "--hsms", "8", "--cluster", "3", "--pin", "1234",
+             "--message", "cli test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recovered successfully" in out
+        assert "forward security" in out

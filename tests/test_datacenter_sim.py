@@ -1,0 +1,87 @@
+"""Discrete-event data-center simulator vs the analytic models."""
+
+import random
+
+import pytest
+
+from repro.sim.capacity import HsmThroughputModel
+from repro.hsm.devices import SOLOKEY
+from repro.sim.datacenter import DataCenterSimulator
+from repro.sim.queueing import MM1Queue
+
+
+def fast_model(service_seconds=0.1, rotation_seconds=50.0, punctures=1000):
+    return HsmThroughputModel(
+        device=SOLOKEY,
+        decrypt_puncture_seconds=service_seconds,
+        rotation_seconds=rotation_seconds,
+        punctures_before_rotation=punctures,
+    )
+
+
+class TestBasics:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DataCenterSimulator(4, 5, 2, fast_model())
+        with pytest.raises(ValueError):
+            DataCenterSimulator(4, 3, 4, fast_model())
+
+    def test_all_jobs_complete(self):
+        sim = DataCenterSimulator(8, 3, 2, fast_model(), rng=random.Random(1))
+        result = sim.run(arrival_rate=1.0, num_jobs=500)
+        assert result.completed_jobs == 500
+        assert len(result.latencies) == 500
+        assert all(l > 0 for l in result.latencies)
+
+    def test_latency_floor_is_service_time(self):
+        """Even an idle fleet needs ~one service time per share."""
+        sim = DataCenterSimulator(16, 3, 2, fast_model(0.1), rng=random.Random(2))
+        result = sim.run(arrival_rate=0.01, num_jobs=200)
+        assert result.mean_latency >= 0.05
+
+    def test_percentiles_ordered(self):
+        sim = DataCenterSimulator(8, 3, 2, fast_model(), rng=random.Random(3))
+        result = sim.run(arrival_rate=2.0, num_jobs=1000)
+        assert result.percentile(0.5) <= result.percentile(0.9) <= result.percentile(0.99)
+
+
+class TestAgainstAnalyticModels:
+    def test_light_load_matches_mm1(self):
+        """At light load with t=n=1 the fleet is N independent M/M/1 queues;
+        mean latency must match the closed form within noise."""
+        service = 0.2
+        sim = DataCenterSimulator(
+            4, 1, 1, fast_model(service, rotation_seconds=0.0, punctures=10**9),
+            rng=random.Random(4),
+        )
+        total_rate = 4 * 2.0  # per-queue λ=2, μ=5 -> mean sojourn 1/3 s
+        result = sim.run(arrival_rate=total_rate, num_jobs=20_000)
+        analytic = MM1Queue(1 / service, 2.0).mean_latency()
+        assert result.mean_latency == pytest.approx(analytic, rel=0.2)
+
+    def test_threshold_beats_waiting_for_all(self):
+        """t-of-n completion is faster than waiting for all n shares —
+        the fault-tolerance design also buys tail latency."""
+        kwargs = dict(rng=random.Random(5))
+        need_half = DataCenterSimulator(16, 4, 2, fast_model(), **kwargs)
+        r_half = need_half.run(arrival_rate=4.0, num_jobs=3000)
+        kwargs = dict(rng=random.Random(5))
+        need_all = DataCenterSimulator(16, 4, 4, fast_model(), **kwargs)
+        r_all = need_all.run(arrival_rate=4.0, num_jobs=3000)
+        assert r_half.mean_latency < r_all.mean_latency
+
+    def test_rotation_consumes_duty_cycle(self):
+        """With wear-triggered rotation enabled, devices spend a visible
+        fraction of time rotating, approaching the capacity model's duty."""
+        model = fast_model(service_seconds=0.05, rotation_seconds=20.0, punctures=100)
+        sim = DataCenterSimulator(4, 2, 1, model, rng=random.Random(6))
+        result = sim.run(arrival_rate=8.0, num_jobs=5000)
+        assert result.rotations > 0
+        assert result.rotating_fraction > 0.05
+
+    def test_overload_latency_explodes(self):
+        sim_ok = DataCenterSimulator(8, 2, 1, fast_model(0.1), rng=random.Random(7))
+        stable = sim_ok.run(arrival_rate=0.5 * sim_ok.max_stable_rate(), num_jobs=2000)
+        sim_bad = DataCenterSimulator(8, 2, 1, fast_model(0.1), rng=random.Random(7))
+        overloaded = sim_bad.run(arrival_rate=3.0 * sim_bad.max_stable_rate(), num_jobs=2000)
+        assert overloaded.percentile(0.99) > 5 * stable.percentile(0.99)

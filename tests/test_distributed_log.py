@@ -1,0 +1,210 @@
+"""The Figure 5 update protocol: audits, aggregation, GC, catch-up."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.crypto.bloom import BloomParams
+from repro.hsm.device import HsmRefusedError
+from repro.hsm.fleet import HsmFleet
+from repro.log.authdict import verify_includes
+from repro.log.distributed import (
+    DistributedLog,
+    LogConfig,
+    LogUpdateRejected,
+    audit_chunk_indices,
+)
+
+
+CFG = LogConfig(audit_count=3, quorum_fraction=0.75, max_garbage_collections=2)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    params = BloomParams.for_punctures(4, failure_exponent=4)
+    return HsmFleet(8, params, log_config=CFG, rng=random.Random(1))
+
+
+@pytest.fixture
+def log(fleet):
+    fleet.restart_all()
+    log = DistributedLog(CFG)
+    # re-sync devices to a fresh empty log
+    for hsm in fleet:
+        hsm._log_digest = log.digest
+        hsm.garbage_collections_seen = 0
+    return log
+
+
+class TestHappyPath:
+    def test_update_propagates_digest(self, fleet, log):
+        for i in range(12):
+            log.insert(f"u{i}".encode(), b"h")
+        log.run_update(fleet.hsms)
+        for hsm in fleet:
+            assert hsm.log_digest == log.digest
+
+    def test_inclusion_proof_accepted_by_hsm_digest(self, fleet, log):
+        log.insert(b"user", b"commitment")
+        log.run_update(fleet.hsms)
+        proof = log.prove_includes(b"user", b"commitment")
+        assert verify_includes(fleet[0].log_digest, b"user", b"commitment", proof)
+
+    def test_multiple_rounds(self, fleet, log):
+        for round_no in range(3):
+            for i in range(5):
+                log.insert(f"r{round_no}-u{i}".encode(), b"h")
+            log.run_update(fleet.hsms)
+            assert fleet[0].log_digest == log.digest
+
+    def test_empty_round(self, fleet, log):
+        before = log.digest
+        log.run_update(fleet.hsms)
+        assert log.digest == before
+        assert fleet[0].log_digest == before
+
+    def test_duplicate_identifier_rejected_at_insert(self, fleet, log):
+        log.insert(b"dup", b"v1")
+        with pytest.raises(KeyError):
+            log.insert(b"dup", b"v2")
+        log.run_update(fleet.hsms)
+        with pytest.raises(KeyError):
+            log.insert(b"dup", b"v3")
+
+
+class TestAuditSelection:
+    def test_deterministic(self):
+        a = audit_chunk_indices(b"root", 3, 100, 8)
+        assert a == audit_chunk_indices(b"root", 3, 100, 8)
+
+    def test_depends_on_root_and_node(self):
+        assert audit_chunk_indices(b"r1", 3, 100, 8) != audit_chunk_indices(b"r2", 3, 100, 8)
+        assert audit_chunk_indices(b"r1", 3, 100, 8) != audit_chunk_indices(b"r1", 4, 100, 8)
+
+    def test_distinct_and_in_range(self):
+        picks = audit_chunk_indices(b"r", 0, 10, 6)
+        assert len(set(picks)) == len(picks) == 6
+        assert all(0 <= p < 10 for p in picks)
+
+    def test_want_more_than_available(self):
+        assert sorted(audit_chunk_indices(b"r", 0, 3, 10)) == [0, 1, 2]
+
+    def test_zero_chunks(self):
+        assert audit_chunk_indices(b"r", 0, 0, 4) == []
+
+
+class TestTamperDetection:
+    def test_forged_chunk_proofs_detected(self, fleet, log):
+        for i in range(8):
+            log.insert(f"t{i}".encode(), b"h")
+        round_ = log.prepare_update(num_chunks=4)
+        round_.chunks[2] = dataclasses.replace(round_.chunks[2], proofs=())
+        rejected = 0
+        for hsm in fleet.online():
+            try:
+                hsm.audit_log_update(round_)
+            except LogUpdateRejected:
+                rejected += 1
+        assert rejected >= 1  # audit_count=3 of 4 chunks: overwhelming odds
+
+    def test_wrong_base_digest_rejected(self, fleet, log):
+        log.insert(b"x", b"h")
+        round_ = log.prepare_update(num_chunks=2)
+        bad = dataclasses.replace(round_, old_digest=b"\x00" * 32)
+        with pytest.raises(LogUpdateRejected):
+            fleet[0].audit_log_update(bad)
+
+    def test_wrong_final_digest_rejected(self, fleet, log):
+        log.insert(b"y", b"h")
+        round_ = log.prepare_update(num_chunks=1)
+        bad = dataclasses.replace(round_, new_digest=b"\x00" * 32)
+        rejected = 0
+        for hsm in fleet.online():
+            try:
+                hsm.audit_log_update(bad)
+            except LogUpdateRejected:
+                rejected += 1
+        assert rejected == len(fleet.online())  # single chunk: all audit it
+
+    def test_bad_aggregate_signature_rejected(self, fleet, log):
+        log.insert(b"z", b"h")
+        round_ = log.prepare_update(num_chunks=1)
+        sigs = [h.audit_log_update(round_) for h in fleet.online()]
+        scheme = fleet.multisig_scheme
+        aggregate = scheme.aggregate(sigs)
+        signers = tuple(h.index for h in fleet.online())
+        # Tamper with the signer list (claim a different quorum)
+        with pytest.raises(LogUpdateRejected):
+            fleet[0].accept_log_digest(round_, aggregate, signers[:-1])
+
+    def test_below_quorum_rejected(self, fleet, log):
+        log.insert(b"q", b"h")
+        round_ = log.prepare_update(num_chunks=1)
+        few = list(fleet.online())[:2]
+        sigs = [h.audit_log_update(round_) for h in few]
+        aggregate = fleet.multisig_scheme.aggregate(sigs)
+        with pytest.raises(LogUpdateRejected):
+            fleet[0].accept_log_digest(round_, aggregate, tuple(h.index for h in few))
+
+    def test_unknown_signer_rejected(self, fleet, log):
+        log.insert(b"w", b"h")
+        round_ = log.prepare_update(num_chunks=1)
+        sigs = [h.audit_log_update(round_) for h in fleet.online()]
+        aggregate = fleet.multisig_scheme.aggregate(sigs)
+        signers = tuple(h.index for h in fleet.online())[:-1] + (999,)
+        with pytest.raises(LogUpdateRejected):
+            fleet[0].accept_log_digest(round_, aggregate, signers)
+
+    def test_duplicate_signer_rejected(self, fleet, log):
+        log.insert(b"v", b"h")
+        round_ = log.prepare_update(num_chunks=1)
+        sigs = [h.audit_log_update(round_) for h in fleet.online()]
+        aggregate = fleet.multisig_scheme.aggregate(sigs)
+        signers = tuple(h.index for h in fleet.online())
+        padded = signers[:-1] + (signers[0],)
+        with pytest.raises(LogUpdateRejected):
+            fleet[0].accept_log_digest(round_, aggregate, padded)
+
+
+class TestFailureAndCatchUp:
+    def test_update_succeeds_with_failed_hsm(self, fleet, log):
+        fleet[5].fail_stop()
+        try:
+            log.insert(b"f1", b"h")
+            log.run_update(fleet.hsms)
+            assert fleet[0].log_digest == log.digest
+            assert fleet[5].log_digest != log.digest
+        finally:
+            fleet[5].restart()
+
+    def test_rejoined_hsm_catches_up(self, fleet, log):
+        fleet[6].fail_stop()
+        log.insert(b"c1", b"h")
+        log.run_update(fleet.hsms)
+        log.insert(b"c2", b"h")
+        log.run_update(fleet.hsms)
+        fleet[6].restart()
+        log.insert(b"c3", b"h")
+        log.run_update(fleet.hsms)
+        assert fleet[6].log_digest == log.digest
+
+
+class TestGarbageCollection:
+    def test_gc_resets_log(self, fleet, log):
+        log.insert(b"g1", b"h")
+        log.run_update(fleet.hsms)
+        log.garbage_collect(fleet.hsms)
+        assert log.digest == DistributedLog(CFG).digest
+        assert fleet[0].log_digest == log.digest
+        # the old log is archived for auditors
+        assert [e for e in log.archived_logs[-1]] == [(b"g1", b"h")]
+        # the identifier is reusable after GC
+        log.insert(b"g1", b"h2")
+        log.run_update(fleet.hsms)
+
+    def test_gc_budget_enforced(self, fleet, log):
+        log.garbage_collect(fleet.hsms)
+        log.garbage_collect(fleet.hsms)
+        with pytest.raises(HsmRefusedError):
+            log.garbage_collect(fleet.hsms)

@@ -1,0 +1,68 @@
+"""§8 extensions: device failure during recovery, incremental backups."""
+
+import pytest
+
+from repro.core.client import RecoveryError
+
+
+class TestResumeAfterDeviceFailure:
+    def test_replacement_device_finishes_recovery(self, shared_deployment, unique_user):
+        client = shared_deployment.new_client(unique_user)
+        client.backup(b"precious data", pin="1234")
+        session = client.begin_recovery("1234")
+        client.request_shares(session, "1234")
+        # The client device dies here without ever calling finish_recovery.
+        replacement = shared_deployment.new_client(unique_user)
+        recovered = replacement.resume_recovery("1234", attempt=session.attempt)
+        assert recovered == b"precious data"
+
+    def test_resume_without_escrow_fails(self, shared_deployment, unique_user):
+        client = shared_deployment.new_client(unique_user)
+        client.backup(b"data", pin="1234")
+        with pytest.raises(RecoveryError):
+            client.resume_recovery("1234", attempt=0)
+
+    def test_resume_requires_correct_pin(self, shared_deployment, unique_user):
+        client = shared_deployment.new_client(unique_user)
+        client.backup(b"data", pin="1234")
+        session = client.begin_recovery("1234")
+        client.request_shares(session, "1234")
+        replacement = shared_deployment.new_client(unique_user)
+        with pytest.raises(RecoveryError):
+            replacement.resume_recovery("0000", attempt=session.attempt)
+
+    def test_original_device_can_also_finish(self, shared_deployment, unique_user):
+        client = shared_deployment.new_client(unique_user)
+        client.backup(b"data", pin="1234")
+        session = client.begin_recovery("1234")
+        client.request_shares(session, "1234")
+        assert client.finish_recovery(session) == b"data"
+
+
+class TestIncrementalBackups:
+    def test_increments_roundtrip(self, shared_deployment, unique_user):
+        client = shared_deployment.new_client(unique_user)
+        client.enable_incremental_backups("1234")
+        client.incremental_backup(b"monday photos")
+        client.incremental_backup(b"tuesday notes")
+        assert client.recover_incrementals("1234") == [
+            b"monday photos",
+            b"tuesday notes",
+        ]
+
+    def test_incrementals_require_enabling(self, shared_deployment, unique_user):
+        client = shared_deployment.new_client(unique_user)
+        with pytest.raises(RecoveryError):
+            client.incremental_backup(b"data")
+        with pytest.raises(RecoveryError):
+            client.recover_incrementals("1234")
+
+    def test_incrementals_are_cheap(self, shared_deployment, unique_user):
+        """An increment must cost zero public-key operations (that is the
+        point of the §8 design)."""
+        client = shared_deployment.new_client(unique_user)
+        client.enable_incremental_backups("1234")
+        before = dict(client.meter.counts)
+        client.incremental_backup(b"x" * 4096)
+        delta_pk = client.meter.counts.get("elgamal_enc", 0) - before.get("elgamal_enc", 0)
+        assert delta_pk == 0

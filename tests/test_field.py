@@ -1,0 +1,123 @@
+"""GF(p) arithmetic and Lagrange interpolation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.field import FieldElement, PrimeField
+
+SMALL_PRIME = 101
+P256_ORDER = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+
+
+@pytest.fixture
+def field():
+    return PrimeField(SMALL_PRIME)
+
+
+class TestBasicArithmetic:
+    def test_addition_wraps(self, field):
+        assert field(100) + field(5) == field(4)
+
+    def test_subtraction_wraps(self, field):
+        assert field(3) - field(10) == field(94)
+
+    def test_multiplication(self, field):
+        assert field(20) * field(6) == field(19)  # 120 mod 101
+
+    def test_division_is_multiplication_by_inverse(self, field):
+        a, b = field(17), field(23)
+        assert (a / b) * b == a
+
+    def test_negation(self, field):
+        assert -field(1) == field(100)
+
+    def test_power(self, field):
+        assert field(2) ** 10 == field(1024 % SMALL_PRIME)
+
+    def test_fermat_little_theorem(self, field):
+        assert field(7) ** (SMALL_PRIME - 1) == field(1)
+
+    def test_int_coercion_both_sides(self, field):
+        assert 1 + field(2) == field(3)
+        assert field(2) + 1 == field(3)
+        assert 5 - field(2) == field(3)
+        assert 2 * field(4) == field(8)
+
+    def test_zero_inverse_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field(0).inverse()
+
+    def test_mixing_fields_raises(self, field):
+        other = PrimeField(103)
+        with pytest.raises(ValueError):
+            field(1) + other(1)
+
+    def test_modulus_validation(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+
+class TestSerialization:
+    def test_roundtrip(self, field):
+        element = field(77)
+        assert field.from_bytes(element.to_bytes()) == element
+
+    def test_byte_length_large_field(self):
+        field = PrimeField(P256_ORDER)
+        assert field.byte_length == 32
+        assert len(field(1).to_bytes()) == 32
+
+
+class TestPolynomials:
+    def test_eval_poly_horner(self, field):
+        # p(x) = 3 + 2x + x^2 at x = 5 -> 38
+        coeffs = [field(3), field(2), field(1)]
+        assert field.eval_poly(coeffs, field(5)) == field(38 % SMALL_PRIME)
+
+    def test_eval_constant(self, field):
+        assert field.eval_poly([field(9)], field(50)) == field(9)
+
+    def test_interpolation_recovers_constant_term(self, field):
+        coeffs = [field(42), field(7), field(13)]
+        points = [
+            (field(x), field.eval_poly(coeffs, field(x))) for x in (1, 2, 3)
+        ]
+        assert field.lagrange_interpolate_at_zero(points) == field(42)
+
+    def test_interpolation_duplicate_x_raises(self, field):
+        with pytest.raises(ValueError):
+            field.lagrange_interpolate_at_zero(
+                [(field(1), field(2)), (field(1), field(3))]
+            )
+
+
+@given(a=st.integers(0, P256_ORDER - 1), b=st.integers(0, P256_ORDER - 1))
+@settings(max_examples=50)
+def test_field_ring_axioms_large(a, b):
+    field = PrimeField(P256_ORDER)
+    fa, fb = field(a), field(b)
+    assert fa + fb == fb + fa
+    assert fa * fb == fb * fa
+    assert fa + field(0) == fa
+    assert fa * field(1) == fa
+    assert fa - fa == field(0)
+
+
+@given(a=st.integers(1, P256_ORDER - 1))
+@settings(max_examples=50)
+def test_inverse_property(a):
+    field = PrimeField(P256_ORDER)
+    assert field(a) * field(a).inverse() == field(1)
+
+
+@given(
+    secret=st.integers(0, P256_ORDER - 1),
+    c1=st.integers(0, P256_ORDER - 1),
+    c2=st.integers(0, P256_ORDER - 1),
+)
+@settings(max_examples=25)
+def test_interpolation_inverts_evaluation(secret, c1, c2):
+    field = PrimeField(P256_ORDER)
+    coeffs = [field(secret), field(c1), field(c2)]
+    points = [(field(x), field.eval_poly(coeffs, field(x))) for x in (5, 9, 11)]
+    assert field.lagrange_interpolate_at_zero(points) == field(secret)

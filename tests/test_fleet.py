@@ -1,0 +1,66 @@
+"""Fleet provisioning and management."""
+
+import random
+
+import pytest
+
+from repro.crypto.bloom import BloomParams
+from repro.hsm.fleet import HsmFleet
+from repro.log.distributed import LogConfig
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return HsmFleet(
+        6,
+        BloomParams.for_punctures(4, failure_exponent=4),
+        log_config=LogConfig(audit_count=2),
+        rng=random.Random(37),
+    )
+
+
+class TestProvisioning:
+    def test_size_and_indexing(self, fleet):
+        assert len(fleet) == 6
+        assert fleet[3].index == 3
+        assert [h.index for h in fleet] == list(range(6))
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            HsmFleet(0, BloomParams.for_punctures(2, failure_exponent=2))
+
+    def test_master_public_key_order(self, fleet):
+        mpk = fleet.master_public_key()
+        assert [info.index for info in mpk] == list(range(6))
+        # distinct keys per device
+        commitments = {info.bfe_public.commitment for info in mpk}
+        assert len(commitments) == 6
+
+    def test_signer_directory_installed(self, fleet):
+        # every HSM can verify every other's signature via its directory
+        for hsm in fleet:
+            assert set(hsm._sig_directory) == set(range(6))
+
+
+class TestFaultInjection:
+    def test_fail_random_and_restart(self, fleet):
+        victims = fleet.fail_random(2, random.Random(1))
+        assert len(victims) == 2
+        assert len(fleet.online()) == 4
+        fleet.restart_all()
+        assert len(fleet.online()) == 6
+
+    def test_compromise_returns_secrets(self, fleet):
+        stolen = fleet.compromise([1, 4])
+        assert [s.index for s in stolen] == [1, 4]
+
+
+class TestMetering:
+    def test_total_counts_and_reset(self, fleet):
+        fleet.reset_meters()
+        fleet[0].meter.add("ec_mult", 3)
+        fleet[1].meter.add("ec_mult", 2)
+        totals = fleet.total_op_counts()
+        assert totals["ec_mult"] == 5
+        fleet.reset_meters()
+        assert fleet.total_op_counts() == {}

@@ -1,0 +1,215 @@
+"""HSM firmware behaviour: recovery checks, rotation, failure injection."""
+
+import random
+
+import pytest
+
+from repro.core.identifiers import attempt_identifier
+from repro.core.lhe import BfePke, LocationHidingEncryption
+from repro.crypto.bfe import BloomFilterEncryption, PuncturedKeyError
+from repro.crypto.bloom import BloomParams
+from repro.crypto.commit import commit_recovery
+from repro.crypto.ec import P256
+from repro.crypto.elgamal import HashedElGamal
+from repro.hsm.device import (
+    DecryptShareRequest,
+    HsmRefusedError,
+    HsmUnavailableError,
+)
+from repro.hsm.fleet import HsmFleet
+from repro.log.distributed import DistributedLog, LogConfig
+
+CFG = LogConfig(audit_count=2, quorum_fraction=0.6, max_attempts_per_user=3)
+N, CLUSTER, T = 6, 3, 2
+
+
+@pytest.fixture(scope="module")
+def env():
+    """A small fleet + log + one logged recovery attempt ready to serve."""
+    rng = random.Random(2)
+    # Generous puncture budget: the module shares one fleet across ~10
+    # recovery attempts, each of which punctures.
+    params = BloomParams.for_punctures(64, failure_exponent=4)
+    fleet = HsmFleet(N, params, log_config=CFG, rng=rng)
+    log = DistributedLog(CFG)
+    lhe = LocationHidingEncryption(N, CLUSTER, T, BfePke())
+    mpk = fleet.master_public_key()
+    return fleet, log, lhe, mpk
+
+
+def logged_request_for(env, username, pin, message=b"msg", attempt=0, salt=None):
+    """Create a backup + logged recovery attempt; return per-HSM requests."""
+    fleet, log, lhe, _ = env
+    # Re-read the fleet's current keys: rotation tests in this module bump
+    # key epochs, and encrypting to stale keys would (correctly) fail.
+    mpk = fleet.master_public_key()
+    ct = lhe.encrypt(mpk, pin, message, username=username, salt=salt)
+    cluster = lhe.select(ct.salt, pin)
+    context = lhe.context_for(ct, mpk, pin)
+    commitment, opening = commit_recovery(username, cluster, ct.ciphertext_hash())
+    identifier = attempt_identifier(username, attempt)
+    log.insert(identifier, commitment)
+    log.run_update(fleet.hsms)
+    proof = log.prove_includes(identifier, commitment)
+    response_kp = P256.keygen()
+    requests = []
+    for position, hsm_index in enumerate(cluster):
+        requests.append(
+            (
+                hsm_index,
+                DecryptShareRequest(
+                    username=username,
+                    log_identifier=identifier,
+                    commitment=commitment,
+                    opening=opening,
+                    inclusion_proof=proof,
+                    share_ciphertext=ct.share_ciphertexts[position],
+                    context=context,
+                    response_key=response_kp.public,
+                ),
+            )
+        )
+    return ct, cluster, requests, response_kp
+
+
+class TestDecryptShare:
+    def test_happy_path_returns_share(self, env):
+        fleet = env[0]
+        _, _, requests, kp = logged_request_for(env, "hsm-t1", "1111")
+        hsm_index, request = requests[0]
+        reply = fleet[hsm_index].decrypt_share(request)
+        share_bytes = HashedElGamal.decrypt(
+            kp.secret, reply, context=b"recovery-reply" + b"hsm-t1"
+        )
+        assert len(share_bytes) == 36  # 4-byte x + 32-byte y
+
+    def test_unlogged_attempt_refused(self, env):
+        fleet, log, lhe, mpk = env
+        ct, cluster, requests, _ = logged_request_for(env, "hsm-t2", "2222")
+        hsm_index, request = requests[0]
+        # Forge: point the proof at a different (unlogged) identifier.
+        import dataclasses
+
+        forged = dataclasses.replace(
+            request, log_identifier=attempt_identifier("hsm-t2", 1)
+        )
+        with pytest.raises(HsmRefusedError):
+            fleet[hsm_index].decrypt_share(forged)
+
+    def test_bad_opening_refused(self, env):
+        import dataclasses
+
+        from repro.crypto.commit import CommitmentOpening
+
+        fleet = env[0]
+        _, _, requests, _ = logged_request_for(env, "hsm-t3", "3333")
+        hsm_index, request = requests[0]
+        bad_opening = CommitmentOpening(
+            request.opening.username,
+            request.opening.cluster,
+            request.opening.ciphertext_hash,
+            bytes(32),
+        )
+        with pytest.raises(HsmRefusedError):
+            fleet[hsm_index].decrypt_share(dataclasses.replace(request, opening=bad_opening))
+
+    def test_non_member_hsm_refuses(self, env):
+        fleet = env[0]
+        _, cluster, requests, _ = logged_request_for(env, "hsm-t4", "4444")
+        outsider = next(i for i in range(N) if i not in cluster)
+        _, request = requests[0]
+        with pytest.raises(HsmRefusedError):
+            fleet[outsider].decrypt_share(request)
+
+    def test_username_mismatch_refused(self, env):
+        import dataclasses
+
+        fleet = env[0]
+        _, _, requests, _ = logged_request_for(env, "hsm-t5", "5555")
+        hsm_index, request = requests[0]
+        with pytest.raises(HsmRefusedError):
+            fleet[hsm_index].decrypt_share(dataclasses.replace(request, username="mallory"))
+
+    def test_attempt_limit_enforced(self, env):
+        import dataclasses
+
+        fleet = env[0]
+        _, _, requests, _ = logged_request_for(
+            env, "hsm-t6", "6666", attempt=CFG.max_attempts_per_user
+        )
+        hsm_index, request = requests[0]
+        with pytest.raises(HsmRefusedError):
+            fleet[hsm_index].decrypt_share(request)
+
+    def test_malformed_identifier_refused(self, env):
+        import dataclasses
+
+        fleet = env[0]
+        _, _, requests, _ = logged_request_for(env, "hsm-t7", "7777")
+        hsm_index, request = requests[0]
+        with pytest.raises(HsmRefusedError):
+            fleet[hsm_index].decrypt_share(
+                dataclasses.replace(request, log_identifier=b"garbage")
+            )
+
+    def test_puncture_after_decrypt(self, env):
+        fleet = env[0]
+        _, _, requests, _ = logged_request_for(env, "hsm-t8", "8888")
+        hsm_index, request = requests[0]
+        fleet[hsm_index].decrypt_share(request)
+        with pytest.raises(PuncturedKeyError):
+            fleet[hsm_index].decrypt_share(request)
+
+    def test_failed_hsm_unavailable(self, env):
+        fleet = env[0]
+        _, _, requests, _ = logged_request_for(env, "hsm-t9", "9999")
+        hsm_index, request = requests[0]
+        fleet[hsm_index].fail_stop()
+        try:
+            with pytest.raises(HsmUnavailableError):
+                fleet[hsm_index].decrypt_share(request)
+        finally:
+            fleet[hsm_index].restart()
+
+
+class TestRotation:
+    def test_rotation_changes_public_key_and_epoch(self, env):
+        fleet = env[0]
+        hsm = fleet[0]
+        before = hsm.public_info()
+        after = hsm.rotate_keys()
+        assert after.key_epoch == before.key_epoch + 1
+        assert after.bfe_public.commitment != before.bfe_public.commitment
+        assert hsm.rotations == 1
+
+    def test_old_ciphertexts_dead_after_rotation(self, env):
+        """Rotation is the coarse form of forward security: everything
+        encrypted to the old key becomes undecryptable."""
+        fleet, log, lhe, mpk = env
+        hsm = fleet[1]
+        pub = hsm.public_info().bfe_public
+        ct = BloomFilterEncryption.encrypt(pub, b"old secret", context=b"c")
+        hsm.rotate_keys()
+        with pytest.raises(Exception):
+            BloomFilterEncryption.decrypt(hsm._bfe_secret, ct, context=b"c")
+
+
+class TestMetering:
+    def test_device_meter_accumulates(self, env):
+        fleet = env[0]
+        _, _, requests, _ = logged_request_for(env, "hsm-t10", "1010")
+        hsm_index, request = requests[0]
+        before = dict(fleet[hsm_index].meter.counts)
+        fleet[hsm_index].decrypt_share(request)
+        after = fleet[hsm_index].meter.counts
+        assert after["elgamal_dec"] > before.get("elgamal_dec", 0)
+        assert after["elgamal_enc"] > before.get("elgamal_enc", 0)  # the reply
+
+
+class TestCompromise:
+    def test_extract_secrets_shape(self, env):
+        fleet = env[0]
+        stolen = fleet[3].extract_secrets()
+        assert stolen.index == 3
+        assert stolen.sig_secret > 0
+        assert stolen.log_digest == fleet[3].log_digest

@@ -1,0 +1,55 @@
+"""Recovery-attempt identifier naming."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.identifiers import (
+    attempt_identifier,
+    parse_attempt_identifier,
+    user_prefix,
+)
+
+
+class TestNaming:
+    def test_roundtrip(self):
+        ident = attempt_identifier("alice", 3)
+        assert parse_attempt_identifier(ident) == ("alice", 3)
+
+    def test_prefix_matches(self):
+        assert attempt_identifier("alice", 0).startswith(user_prefix("alice"))
+
+    def test_prefix_does_not_cross_users(self):
+        # "al" must not prefix-match "alice"'s identifiers at the user level
+        assert not attempt_identifier("alice", 0).startswith(user_prefix("al"))
+
+    def test_pipe_in_username_rejected(self):
+        with pytest.raises(ValueError):
+            attempt_identifier("a|b", 0)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            attempt_identifier("alice", -1)
+
+    def test_malformed_parse_rejected(self):
+        for bad in (b"junk", b"rec|", b"rec|user|", b"rec|user|x", b"other|user|1"):
+            with pytest.raises(ValueError):
+                parse_attempt_identifier(bad)
+
+    def test_usernames_with_pipes_in_attempt_position(self):
+        # usernames containing digits parse back correctly
+        assert parse_attempt_identifier(attempt_identifier("user42", 7)) == ("user42", 7)
+
+    @given(
+        username=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters="|"),
+            min_size=1,
+            max_size=30,
+        ),
+        attempt=st.integers(0, 10**6),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, username, attempt):
+        assert parse_attempt_identifier(attempt_identifier(username, attempt)) == (
+            username,
+            attempt,
+        )

@@ -1,0 +1,190 @@
+"""Location-hiding encryption (Figure 15) in isolation.
+
+Uses the plain hashed-ElGamal PKE (the exact Appendix A instantiation) so
+these tests are independent of the puncturable-encryption machinery.
+"""
+
+import random
+
+import pytest
+
+from repro.core.lhe import (
+    BfePke,
+    ElGamalPke,
+    LheCiphertext,
+    LheError,
+    LocationHidingEncryption,
+    lhe_context,
+    parse_share_plaintext,
+)
+from repro.crypto.elgamal import HashedElGamal
+
+N, CLUSTER, T = 12, 4, 2
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = random.Random(4)
+    return [HashedElGamal.keygen(rng) for _ in range(N)]
+
+
+@pytest.fixture(scope="module")
+def lhe():
+    return LocationHidingEncryption(N, CLUSTER, T, pke=ElGamalPke())
+
+
+def decrypt_all(lhe, keys, ct, pin):
+    cluster = lhe.select(ct.salt, pin)
+    publics = [kp.public for kp in keys]
+    context = lhe.context_for(ct, publics, pin)
+    shares = []
+    for position, index in enumerate(cluster):
+        shares.append(lhe.decrypt_share(keys[index].secret, position, ct, context))
+    return lhe.reconstruct(ct, shares, context), context
+
+
+class TestRoundtrip:
+    def test_encrypt_decrypt(self, lhe, keys):
+        publics = [kp.public for kp in keys]
+        ct = lhe.encrypt(publics, "1234", b"disk image", username="alice")
+        message, _ = decrypt_all(lhe, keys, ct, "1234")
+        assert message == b"disk image"
+
+    def test_threshold_subset_suffices(self, lhe, keys):
+        publics = [kp.public for kp in keys]
+        ct = lhe.encrypt(publics, "1234", b"msg", username="alice")
+        cluster = lhe.select(ct.salt, "1234")
+        context = lhe.context_for(ct, publics, "1234")
+        shares = [None] * CLUSTER
+        for position in range(T):
+            shares[position] = lhe.decrypt_share(
+                keys[cluster[position]].secret, position, ct, context
+            )
+        assert lhe.reconstruct(ct, shares, context) == b"msg"
+
+    def test_below_threshold_fails(self, lhe, keys):
+        publics = [kp.public for kp in keys]
+        ct = lhe.encrypt(publics, "1234", b"msg", username="alice")
+        context = lhe.context_for(ct, publics, "1234")
+        cluster = lhe.select(ct.salt, "1234")
+        shares = [None] * CLUSTER
+        shares[0] = lhe.decrypt_share(keys[cluster[0]].secret, 0, ct, context)
+        with pytest.raises(LheError):
+            lhe.reconstruct(ct, shares, context)
+
+    def test_explicit_salt_reuse_pins_cluster(self, lhe, keys):
+        publics = [kp.public for kp in keys]
+        ct1 = lhe.encrypt(publics, "1234", b"v1", username="alice")
+        ct2 = lhe.encrypt(publics, "1234", b"v2", username="alice", salt=ct1.salt)
+        assert lhe.select(ct1.salt, "1234") == lhe.select(ct2.salt, "1234")
+
+
+class TestSelect:
+    def test_deterministic(self, lhe):
+        assert lhe.select(b"salt", "0000") == lhe.select(b"salt", "0000")
+
+    def test_pin_changes_cluster(self, lhe):
+        assert lhe.select(b"salt", "0000") != lhe.select(b"salt", "1111")
+
+    def test_cluster_size(self, lhe):
+        assert len(lhe.select(b"salt", "0000")) == CLUSTER
+
+    def test_wrong_pin_selects_wrong_cluster_whp(self, lhe, keys):
+        publics = [kp.public for kp in keys]
+        ct = lhe.encrypt(publics, "1234", b"msg", username="alice")
+        right = set(lhe.select(ct.salt, "1234"))
+        overlaps = sum(
+            len(right & set(lhe.select(ct.salt, f"{p:04d}"))) == CLUSTER
+            for p in range(0, 500)
+            if f"{p:04d}" != "1234"
+        )
+        assert overlaps == 0
+
+
+class TestBinding:
+    def test_wrong_pin_shares_unusable(self, lhe, keys):
+        """Decrypting with the wrong PIN's cluster fails at the PKE layer
+        (context binds the cluster) — the HSMs never see the PIN itself."""
+        publics = [kp.public for kp in keys]
+        ct = lhe.encrypt(publics, "1234", b"msg", username="alice")
+        wrong_cluster = lhe.select(ct.salt, "9999")
+        wrong_context = lhe_context(
+            "alice", ct.salt, lhe._cluster_key_digest([publics[i] for i in wrong_cluster])
+        )
+        with pytest.raises(Exception):
+            lhe.decrypt_share(keys[wrong_cluster[0]].secret, 0, ct, wrong_context)
+
+    def test_share_plaintext_binds_username(self, lhe, keys):
+        publics = [kp.public for kp in keys]
+        ct = lhe.encrypt(publics, "1234", b"msg", username="alice")
+        cluster = lhe.select(ct.salt, "1234")
+        context = lhe.context_for(ct, publics, "1234")
+        plaintext = ElGamalPke().decrypt(
+            keys[cluster[0]].secret, ct.share_ciphertexts[0], context
+        )
+        username, share = parse_share_plaintext(plaintext)
+        assert username == "alice"
+        assert share.x == 1
+
+    def test_corrupt_share_recovered_robustly(self, lhe, keys):
+        from repro.crypto.shamir import Share
+
+        publics = [kp.public for kp in keys]
+        ct = lhe.encrypt(publics, "1234", b"msg", username="alice")
+        cluster = lhe.select(ct.salt, "1234")
+        context = lhe.context_for(ct, publics, "1234")
+        shares = [
+            lhe.decrypt_share(keys[idx].secret, pos, ct, context)
+            for pos, idx in enumerate(cluster)
+        ]
+        shares[0] = Share(x=shares[0].x, y=shares[0].y ^ 1)  # malicious HSM
+        assert lhe.reconstruct(ct, shares, context) == b"msg"
+
+
+class TestCiphertext:
+    def test_hash_is_content_sensitive(self, lhe, keys):
+        publics = [kp.public for kp in keys]
+        ct1 = lhe.encrypt(publics, "1234", b"m1", username="alice")
+        ct2 = lhe.encrypt(publics, "1234", b"m2", username="alice")
+        assert ct1.ciphertext_hash() != ct2.ciphertext_hash()
+        assert ct1.ciphertext_hash() == ct1.ciphertext_hash()
+
+    def test_size_accounting(self, lhe, keys):
+        publics = [kp.public for kp in keys]
+        ct = lhe.encrypt(publics, "1234", b"m" * 100, username="alice")
+        assert ct.size_bytes() > 100
+        assert ct.cluster_size == CLUSTER
+
+    def test_wrong_key_count_rejected(self, lhe, keys):
+        with pytest.raises(ValueError):
+            lhe.encrypt([keys[0].public], "1234", b"m")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LocationHidingEncryption(4, 5, 2)
+        with pytest.raises(ValueError):
+            LocationHidingEncryption(10, 4, 0)
+
+
+class TestBfePkeVariant:
+    def test_roundtrip_with_puncturable_pke(self):
+        """The deployment configuration: LHE over Bloom-filter encryption."""
+        from repro.crypto.bfe import BloomFilterEncryption
+        from repro.crypto.bloom import BloomParams
+        from repro.storage.blockstore import InMemoryBlockStore
+
+        params = BloomParams.for_punctures(4, failure_exponent=4)
+        pairs = [
+            BloomFilterEncryption.keygen(params, InMemoryBlockStore())
+            for _ in range(6)
+        ]
+        publics = [pub for pub, _ in pairs]
+        lhe = LocationHidingEncryption(6, 3, 2, pke=BfePke())
+        ct = lhe.encrypt(publics, "4321", b"data", username="bob")
+        cluster = lhe.select(ct.salt, "4321")
+        context = lhe.context_for(ct, publics, "4321")
+        shares = [
+            lhe.decrypt_share(pairs[idx][1], pos, ct, context)
+            for pos, idx in enumerate(cluster)
+        ]
+        assert lhe.reconstruct(ct, shares, context) == b"data"

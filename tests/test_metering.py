@@ -1,0 +1,45 @@
+"""The operation meter and its nesting semantics."""
+
+from repro.metering import OpMeter, active_meter, count, metered
+
+
+class TestOpMeter:
+    def test_counts_and_reset(self):
+        meter = OpMeter()
+        meter.add("ec_mult")
+        meter.add("io_bytes", 64)
+        assert meter.snapshot() == {"ec_mult": 1, "io_bytes": 64}
+        meter.reset()
+        assert meter.snapshot() == {}
+
+    def test_merge(self):
+        a, b = OpMeter(), OpMeter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.counts["x"] == 3 and a.counts["y"] == 3
+
+    def test_unattached_count_is_noop(self):
+        count("anything")  # must not raise
+        assert active_meter() is None
+
+    def test_attached_counting(self):
+        with metered() as meter:
+            count("op", 2)
+            count("op")
+        assert meter.counts["op"] == 3
+
+    def test_nested_meters_both_observe(self):
+        outer = OpMeter()
+        with outer.attached():
+            with metered() as inner:
+                count("op")
+        assert outer.counts["op"] == 1
+        assert inner.counts["op"] == 1
+
+    def test_detach_stops_counting(self):
+        with metered() as meter:
+            count("op")
+        count("op")
+        assert meter.counts["op"] == 1

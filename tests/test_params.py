@@ -1,0 +1,68 @@
+"""System parameters and their derived quantities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import SystemParams
+
+
+class TestPaperPreset:
+    def test_paper_values(self):
+        params = SystemParams.for_paper()
+        assert params.num_hsms == 3100
+        assert params.cluster_size == 40
+        assert params.threshold == 20
+        assert params.pin_space_size == 10**6
+        assert params.tolerated_compromises == 193  # floor(3100/16)
+        assert params.tolerated_failures == 48  # floor(3100/64)
+        assert params.max_punctures == 1 << 20
+
+    def test_paper_bloom_key_is_64mb(self):
+        params = SystemParams.for_paper()
+        bloom = params.bloom_params()
+        # §7.1/§9.1: the 64 MB secret key vs 256 KB of device storage,
+        # rotated after 2^18 decryptions (half of 2^21 slots, 4 per puncture).
+        assert bloom.secret_key_bytes() == (1 << 21) * 32
+        assert bloom.num_slots // (2 * bloom.num_hashes) == 1 << 18
+
+
+class TestValidation:
+    def test_threshold_ordering(self):
+        with pytest.raises(ValueError):
+            SystemParams(num_hsms=10, cluster_size=11, threshold=2)
+        with pytest.raises(ValueError):
+            SystemParams(num_hsms=10, cluster_size=5, threshold=6)
+        with pytest.raises(ValueError):
+            SystemParams(num_hsms=10, cluster_size=5, threshold=0)
+
+    def test_pin_length(self):
+        with pytest.raises(ValueError):
+            SystemParams(num_hsms=10, cluster_size=4, threshold=2, pin_length=0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SystemParams(
+                num_hsms=10, cluster_size=4, threshold=2, f_secret=Fraction(2)
+            )
+
+    def test_validate_pin(self):
+        params = SystemParams.for_testing(pin_length=4)
+        params.validate_pin("0123")
+        with pytest.raises(ValueError):
+            params.validate_pin("012")
+        with pytest.raises(ValueError):
+            params.validate_pin("01x3")
+
+
+class TestDerivedConfigs:
+    def test_log_config_propagation(self):
+        params = SystemParams.for_testing(audit_count=5, quorum_fraction=0.8)
+        cfg = params.log_config()
+        assert cfg.audit_count == 5
+        assert cfg.quorum_fraction == 0.8
+        assert cfg.max_attempts_per_user == params.max_attempts_per_user
+
+    def test_testing_preset_threshold_default(self):
+        params = SystemParams.for_testing(cluster_size=6)
+        assert params.threshold == 3

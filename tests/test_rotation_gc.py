@@ -1,0 +1,97 @@
+"""Key rotation (§9.1) and log garbage collection (§6.2) at system level."""
+
+import pytest
+
+from repro.core.client import RecoveryError
+from repro.core.params import SystemParams
+from repro.core.protocol import Deployment
+from repro.hsm.device import HsmRefusedError
+
+
+@pytest.fixture
+def tiny_deployment():
+    """Very small Bloom keys so rotation triggers after a few recoveries."""
+    import random
+
+    params = SystemParams.for_testing(
+        num_hsms=8, cluster_size=3, max_punctures=2, bloom_failure_exponent=3
+    )
+    return Deployment.create(params, rng=random.Random(21))
+
+
+class TestRotation:
+    def test_rotation_triggers_after_wear(self, tiny_deployment):
+        dep = tiny_deployment
+        rotated = []
+        for i in range(8):
+            client = dep.new_client(f"wear{i}")
+            client.backup(b"data", pin="1234")
+            assert client.recover(pin="1234") == b"data"
+            rotated.extend(dep.rotate_keys_if_needed())
+        assert rotated  # some HSM wore out and rotated
+
+    def test_rotation_bumps_epochs_and_updates_clients(self, tiny_deployment):
+        dep = tiny_deployment
+        client = dep.new_client("epoch-watcher")
+        assert client._config_epoch() == 0
+        dep.fleet[0].rotate_keys(dep.provider.storage_for_hsm(0))
+        # deployment-level rotation refresh
+        dep.rotate_keys_if_needed()  # no-op but harmless
+        client.refresh_mpk(dep.fleet.master_public_key())
+        assert client._config_epoch() == 1
+
+    def test_backup_recover_works_after_rotation(self, tiny_deployment):
+        dep = tiny_deployment
+        for hsm in dep.fleet:
+            hsm.rotate_keys(dep.provider.storage_for_hsm(hsm.index))
+        client = dep.new_client("post-rotate")
+        client.refresh_mpk(dep.fleet.master_public_key())
+        client.backup(b"fresh keys", pin="1234")
+        assert client.recover(pin="1234") == b"fresh keys"
+
+    def test_stale_mpk_backup_unrecoverable_after_rotation(self, tiny_deployment):
+        """A backup encrypted to pre-rotation keys dies with them — which is
+        why clients download rotated keys daily (2 MB/day in the paper)."""
+        dep = tiny_deployment
+        client = dep.new_client("stale")
+        client.backup(b"doomed", pin="1234")
+        ct = dep.provider.fetch_backup("stale")
+        cluster = set(client.lhe.select(ct.salt, "1234"))
+        for index in cluster:
+            dep.fleet[index].rotate_keys(dep.provider.storage_for_hsm(index))
+        with pytest.raises(RecoveryError):
+            client.recover(pin="1234")
+
+
+class TestGarbageCollection:
+    def test_gc_resets_attempt_budget(self, tiny_deployment):
+        dep = tiny_deployment
+        client = dep.new_client("gc-user")
+        client.backup(b"data", pin="5678")
+        budget = dep.params.max_attempts_per_user
+        for guess in range(budget):
+            try:
+                client.recover(pin=f"{guess:04d}")
+            except RecoveryError:
+                pass
+        with pytest.raises(RecoveryError):
+            client.recover(pin="5678")
+        dep.garbage_collect_log()
+        # After GC the user has budget again (and the backup survived).
+        assert client.recover(pin="5678") == b"data"
+
+    def test_gc_archives_old_log(self, tiny_deployment):
+        dep = tiny_deployment
+        client = dep.new_client("archived")
+        client.backup(b"data", pin="1234")
+        client.recover(pin="1234")
+        entries_before = list(dep.provider.log.ordered_entries)
+        dep.garbage_collect_log()
+        assert dep.provider.log.archived_logs[-1] == entries_before
+
+    def test_gc_budget_bounds_resets(self, tiny_deployment):
+        dep = tiny_deployment
+        for _ in range(dep.params.max_garbage_collections):
+            dep.garbage_collect_log()
+        with pytest.raises(HsmRefusedError):
+            dep.garbage_collect_log()

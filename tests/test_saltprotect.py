@@ -1,0 +1,64 @@
+"""Salt protection and safe PIN re-use (§6.3 / §8 extension)."""
+
+import pytest
+
+from repro.core.client import RecoveryError
+from repro.core.saltprotect import SaltProtectedClient, null_pin
+
+
+@pytest.fixture
+def protected(shared_deployment, unique_user):
+    client = shared_deployment.new_client(unique_user)
+    return SaltProtectedClient(client)
+
+
+class TestSaltProtectedFlow:
+    def test_backup_and_recover(self, protected):
+        protected.backup(b"protected data", pin="1234")
+        assert protected.recover(pin="1234") == b"protected data"
+
+    def test_salt_fetch_is_logged(self, protected):
+        protected.backup(b"data", pin="1234")
+        assert protected.salt_fetch_log() == []
+        protected.fetch_salt()
+        assert len(protected.salt_fetch_log()) == 1
+
+    def test_salt_fetch_returns_true_salt(self, protected, shared_deployment):
+        protected.backup(b"data", pin="1234")
+        ct = shared_deployment.provider.fetch_backup(protected.client.username)
+        assert protected.fetch_salt() == ct.salt
+
+    def test_salt_is_destroyed_after_fetch(self, protected):
+        """The second fetch fails: the HSMs punctured the salt shares, so a
+        silent offline attacker cannot obtain the salt after the user has."""
+        protected.backup(b"data", pin="1234")
+        protected.fetch_salt()
+        with pytest.raises(RecoveryError):
+            protected.fetch_salt()
+
+
+class TestPinReuseVerdict:
+    def test_safe_when_only_own_fetch(self, protected):
+        protected.backup(b"data", pin="1234")
+        protected.recover(pin="1234")
+        verdict = protected.pin_reuse_verdict(own_fetches_expected=1)
+        assert verdict.safe_to_reuse
+        assert verdict.foreign_fetches == 0
+
+    def test_unsafe_after_foreign_fetch(self, protected, shared_deployment):
+        protected.backup(b"data", pin="1234")
+        # An attacker (who controls the provider and knows the username)
+        # fetches the salt before the user ever recovers:
+        attacker_view = SaltProtectedClient(
+            shared_deployment.new_client(protected.client.username)
+        )
+        attacker_view.fetch_salt()
+        verdict = protected.pin_reuse_verdict(own_fetches_expected=0)
+        assert not verdict.safe_to_reuse
+        assert verdict.foreign_fetches == 1
+        assert "new PIN" in verdict.reason
+
+    def test_null_pin_shape(self, shared_params):
+        pin = null_pin(shared_params)
+        shared_params.validate_pin(pin)
+        assert set(pin) == {"0"}

@@ -1,0 +1,85 @@
+"""Threshold ElGamal (the rejected §1 design) — correctness and cost shape."""
+
+import random
+
+import pytest
+
+from repro.crypto import threshold
+from repro.crypto.gcm import AuthenticationError
+from repro.metering import metered
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(19)
+    public, shares = threshold.keygen(3, 7, rng)
+    return public, shares
+
+
+class TestRoundtrip:
+    def test_threshold_subset_decrypts(self, setup):
+        public, shares = setup
+        ct = threshold.encrypt(public, b"backup key", context=b"ctx")
+        partials = [threshold.partial_decrypt(s, ct) for s in shares[:3]]
+        assert threshold.combine(public, ct, partials, context=b"ctx") == b"backup key"
+
+    def test_any_subset_works(self, setup):
+        public, shares = setup
+        ct = threshold.encrypt(public, b"m", context=b"c")
+        partials = [threshold.partial_decrypt(s, ct) for s in (shares[1], shares[4], shares[6])]
+        assert threshold.combine(public, ct, partials, context=b"c") == b"m"
+
+    def test_below_threshold_rejected(self, setup):
+        public, shares = setup
+        ct = threshold.encrypt(public, b"m")
+        partials = [threshold.partial_decrypt(s, ct) for s in shares[:2]]
+        with pytest.raises(ValueError):
+            threshold.combine(public, ct, partials)
+
+    def test_duplicate_partials_do_not_count(self, setup):
+        public, shares = setup
+        ct = threshold.encrypt(public, b"m")
+        one = threshold.partial_decrypt(shares[0], ct)
+        with pytest.raises(ValueError):
+            threshold.combine(public, ct, [one, one, one])
+
+    def test_wrong_context_fails(self, setup):
+        public, shares = setup
+        ct = threshold.encrypt(public, b"m", context=b"right")
+        partials = [threshold.partial_decrypt(s, ct) for s in shares[:3]]
+        with pytest.raises(AuthenticationError):
+            threshold.combine(public, ct, partials, context=b"wrong")
+
+    def test_corrupt_partial_fails_closed(self, setup):
+        public, shares = setup
+        ct = threshold.encrypt(public, b"m")
+        partials = [threshold.partial_decrypt(s, ct) for s in shares[:3]]
+        index, point = partials[0]
+        partials[0] = (index, point + point)
+        with pytest.raises(AuthenticationError):
+            threshold.combine(public, ct, partials)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            threshold.keygen(0, 5)
+        with pytest.raises(ValueError):
+            threshold.keygen(6, 5)
+
+
+class TestCostShape:
+    def test_per_recovery_work_scales_with_participants(self):
+        """The rejected design's fatal property, measured: decryption work
+        (point mults across HSMs) grows linearly with the threshold."""
+        rng = random.Random(23)
+
+        def mults_for(t, n):
+            public, shares = threshold.keygen(t, n, rng)
+            ct = threshold.encrypt(public, b"m")
+            with metered() as meter:
+                partials = [threshold.partial_decrypt(s, ct) for s in shares[:t]]
+                threshold.combine(public, ct, partials)
+            return meter.counts["elgamal_dec"] + meter.counts.get("ec_mult", 0)
+
+        small = mults_for(2, 8)
+        large = mults_for(8, 8)
+        assert large > 3 * small

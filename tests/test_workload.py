@@ -1,0 +1,34 @@
+"""Workload generation."""
+
+import random
+
+import pytest
+
+from repro.sim.workload import PoissonWorkload
+
+
+class TestPoisson:
+    def test_arrival_times_increasing(self):
+        workload = PoissonWorkload(rate_per_second=2.0, rng=random.Random(1))
+        times = workload.arrival_times(100)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_interarrival_matches_rate(self):
+        workload = PoissonWorkload(rate_per_second=4.0, rng=random.Random(2))
+        times = workload.arrival_times(5000)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1 / 4.0, rel=0.1)
+
+    def test_users_shape(self):
+        workload = PoissonWorkload(rate_per_second=1.0, rng=random.Random(3))
+        users = workload.users(10, pin_length=6)
+        assert len(users) == 10
+        names = {name for name, _ in users}
+        assert len(names) == 10
+        for _, pin in users:
+            assert len(pin) == 6 and pin.isdigit()
+
+    def test_deterministic_with_seed(self):
+        a = PoissonWorkload(1.0, random.Random(7)).arrival_times(10)
+        b = PoissonWorkload(1.0, random.Random(7)).arrival_times(10)
+        assert a == b
