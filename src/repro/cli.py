@@ -6,6 +6,7 @@ Drives an in-memory deployment through the library's public API:
     python -m repro.cli plan --users 1e9     # deployment sizing (§9.2)
     python -m repro.cli params               # paper parameters + bounds
     python -m repro.cli attack               # run the threat-model attacks
+    python -m repro.cli loadtest --clients 16  # concurrent service sessions
 
 (Backups are in-process: the CLI is a teaching/evaluation tool, not a
 persistence layer.)
@@ -94,6 +95,69 @@ def _cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import random
+    import threading
+    import time
+
+    from repro import Deployment, SystemParams
+
+    params = SystemParams.for_testing(
+        num_hsms=args.hsms,
+        cluster_size=args.cluster,
+        max_punctures=max(16, 4 * args.clients),
+    )
+    print(f"provisioning {params.num_hsms} HSMs for {args.clients} concurrent "
+          f"clients ({args.epoch_mode} epochs, {args.transport} transport)...")
+    dep = Deployment.create(params, rng=random.Random(args.seed))
+    service = dep.recovery_service(
+        transport=args.transport,
+        epoch_mode=args.epoch_mode,
+        tick_interval=args.tick_interval,
+    )
+    clients = [service.new_client(f"load-{i}") for i in range(args.clients)]
+    errors: List[str] = []
+
+    def session(i: int) -> None:
+        try:
+            message = f"payload-{i}".encode("utf-8")
+            pin = f"{1000 + i:04d}"[: params.pin_length]
+            clients[i].backup(message, pin=pin)
+            if clients[i].recover(pin) != message:
+                errors.append(f"client {i}: wrong plaintext")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the bench
+            errors.append(f"client {i}: {exc!r}")
+
+    epochs_before = dep.provider.log.epoch
+    with service:
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=session, args=(i,)) for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+    stats = service.stats()
+    print(f"{args.clients} backup+recovery sessions in {elapsed:.2f}s "
+          f"({args.clients / max(elapsed, 1e-9):.1f} sessions/s)")
+    epochs = dep.provider.log.epoch - epochs_before
+    if args.epoch_mode == "batched":
+        print(f"log epochs committed: {epochs} "
+              f"(sessions per epoch: {stats['epoch_sessions']})")
+    else:
+        print(f"log epochs committed: {epochs} (one per recovery)")
+    busiest = max(stats["jobs_per_device"])
+    print(f"busiest HSM queue served {busiest} requests")
+    if errors:
+        for line in errors:
+            print("ERROR:", line)
+        return 1
+    print("all sessions recovered their backups")
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     import runpy
     import os
@@ -144,6 +208,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     attack = sub.add_parser("attack", help="run the threat-model attack demos")
     attack.set_defaults(func=_cmd_attack)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="concurrent recovery sessions through the service layer"
+    )
+    loadtest.add_argument("--clients", type=int, default=16)
+    loadtest.add_argument("--hsms", type=int, default=16)
+    loadtest.add_argument("--cluster", type=int, default=4)
+    loadtest.add_argument("--transport", choices=("wire", "direct"), default="wire")
+    loadtest.add_argument(
+        "--epoch-mode", choices=("batched", "per-request"), default="batched"
+    )
+    loadtest.add_argument("--tick-interval", type=float, default=0.02)
+    loadtest.add_argument("--seed", type=int, default=7)
+    loadtest.set_defaults(func=_cmd_loadtest)
     return parser
 
 

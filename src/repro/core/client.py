@@ -33,7 +33,12 @@ from repro.crypto.ec import ECKeyPair, P256
 from repro.crypto.elgamal import ElGamalCiphertext, HashedElGamal
 from repro.crypto.gcm import ae_decrypt, ae_encrypt
 from repro.crypto.shamir import Share
-from repro.hsm.device import DecryptShareRequest, HsmRefusedError, HsmUnavailableError
+from repro.hsm.device import (
+    DecryptShareRequest,
+    HsmRefusedError,
+    HsmStaleProofError,
+    HsmUnavailableError,
+)
 from repro.crypto.bfe import PuncturedKeyError
 from repro.metering import OpMeter
 
@@ -72,13 +77,18 @@ class Client:
         username: str,
         params: SystemParams,
         provider: ServiceProvider,
-        hsm_channel: Callable[[int], object],
+        channels: Callable[[int], object],
         mpk: Sequence,
     ) -> None:
+        """``channels`` maps an HSM index to a :class:`repro.service.channel.
+        Channel`: the narrow transport boundary (one ``decrypt_share``
+        method) between the client and a device.  The default deployment
+        wiring serializes every request/reply through ``repro.core.wire`` so
+        no live HSM objects are ever shared with client code."""
         self.username = username
         self.params = params
         self.provider = provider
-        self._channel = hsm_channel
+        self._channels = channels
         self.mpk = list(mpk)
         self.lhe = LocationHidingEncryption(
             num_hsms=params.num_hsms,
@@ -199,28 +209,66 @@ class Client:
         Returns the number of shares obtained.
         """
         obtained = 0
-        for position, hsm_index in enumerate(session.cluster):
-            request = DecryptShareRequest(
-                username=session.username,
-                log_identifier=session.log_identifier,
-                commitment=session.commitment,
-                opening=session.opening,
-                inclusion_proof=session.inclusion_proof,
-                share_ciphertext=session.ciphertext.share_ciphertexts[position],
-                context=session.context,
-                response_key=session.response_keypair.public,
-            )
-            try:
-                reply = self._channel(hsm_index).decrypt_share(request)
-            except (HsmUnavailableError, PuncturedKeyError, HsmRefusedError):
-                # Fail-stopped, already-punctured, or refusing HSM: count it
-                # against the threshold, like the paper's ⊥ shares.
-                continue
-            reply_bytes = reply.to_bytes()
-            self.provider.store_reply(session.username, session.attempt, reply_bytes)
-            session.encrypted_replies.append(reply_bytes)
-            obtained += 1
+        try:
+            for position, hsm_index in enumerate(session.cluster):
+                try:
+                    reply = self._channels(hsm_index).decrypt_share(
+                        self._share_request(session, position)
+                    )
+                except HsmStaleProofError:
+                    # Our inclusion proof went stale (an update epoch
+                    # committed mid-recovery); refresh and retry once
+                    # before writing the share off as ⊥.
+                    reply = self._retry_with_fresh_proof(session, position, hsm_index)
+                    if reply is None:
+                        continue
+                except (HsmUnavailableError, PuncturedKeyError, HsmRefusedError):
+                    # Fail-stopped, already-punctured, or policy-refusing
+                    # HSM: count it against the threshold, like the paper's
+                    # ⊥ shares.
+                    continue
+                reply_bytes = reply.to_bytes()
+                self.provider.store_reply(session.username, session.attempt, reply_bytes)
+                session.encrypted_replies.append(reply_bytes)
+                obtained += 1
+        finally:
+            # Tell the provider this attempt's share phase is over, so the
+            # batched service can schedule the next epoch (liveness hint).
+            self.provider.share_phase_done(session.username, session.attempt)
         return obtained
+
+    def _share_request(self, session: RecoverySession, position: int) -> DecryptShareRequest:
+        return DecryptShareRequest(
+            username=session.username,
+            log_identifier=session.log_identifier,
+            commitment=session.commitment,
+            opening=session.opening,
+            inclusion_proof=session.inclusion_proof,
+            share_ciphertext=session.ciphertext.share_ciphertexts[position],
+            context=session.context,
+            response_key=session.response_keypair.public,
+        )
+
+    def _retry_with_fresh_proof(
+        self, session: RecoverySession, position: int, hsm_index: int
+    ):
+        """Refresh the inclusion proof and retry one refused HSM.
+
+        Inclusion proofs are digest-exact, so they expire whenever a later
+        update epoch rehashes their BST path.  Only retries when the
+        provider serves a *different* proof than the session already holds —
+        a genuine policy refusal is never retried.
+        """
+        fresh = self.provider.prove_inclusion(session.log_identifier, session.commitment)
+        if fresh is None or fresh == session.inclusion_proof:
+            return None
+        session.inclusion_proof = fresh
+        try:
+            return self._channels(hsm_index).decrypt_share(
+                self._share_request(session, position)
+            )
+        except (HsmUnavailableError, PuncturedKeyError, HsmRefusedError):
+            return None
 
     def finish_recovery(self, session: RecoverySession) -> bytes:
         """Decrypt the escrowed replies and reconstruct the backup."""

@@ -63,21 +63,38 @@ class Deployment:
         return Deployment(params=params, fleet=fleet, provider=provider)
 
     # -- clients -----------------------------------------------------------------
-    def new_client(self, username: str, pin: Optional[str] = None) -> Client:
+    def new_client(
+        self, username: str, pin: Optional[str] = None, transport: str = "wire"
+    ) -> Client:
         """Create a client holding the authentic mpk.
 
         ``pin`` is accepted for documentation symmetry but never stored; all
         PIN-consuming operations take the PIN explicitly.
+
+        The client reaches HSMs only through the narrow ``Channel``
+        interface; the default ``"wire"`` transport serializes every
+        request/reply through ``repro.core.wire`` (pass ``"direct"`` to
+        skip serialization in micro-benchmarks).
         """
+        from repro.service.channel import direct_channels, wire_channels
+
+        factory = (wire_channels if transport == "wire" else direct_channels)(self.fleet)
         client = Client(
             username=username,
             params=self.params,
             provider=self.provider,
-            hsm_channel=lambda index: self.fleet[index],
+            channels=factory,
             mpk=self.fleet.master_public_key(),
         )
         self.clients.append(client)
         return client
+
+    def recovery_service(self, **kwargs) -> "object":
+        """A concurrent :class:`~repro.service.recovery.RecoveryService`
+        front end over this deployment (batched epochs, per-HSM queues)."""
+        from repro.service.recovery import RecoveryService
+
+        return RecoveryService(self, **kwargs)
 
     # -- maintenance ----------------------------------------------------------------
     def run_log_update(self) -> None:

@@ -9,6 +9,7 @@ why the adversary classes in ``repro.adversary`` are provider subclasses.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -38,6 +39,14 @@ class ServiceProvider:
         self.hsm_stores: Dict[int, InMemoryBlockStore] = {}
         # Installed by the deployment: runs one log-update epoch on the fleet.
         self._update_runner: Optional[Callable[[], None]] = None
+        # username -> first unused attempt slot, maintained incrementally so
+        # attempt numbering is O(1) instead of a scan over the whole log.
+        # Counters belong to one log generation: garbage collection resets
+        # every user's attempt budget (§6.2), so when the log's GC count
+        # moves past ``_attempt_generation`` the counters are dropped.
+        self._attempt_counters: Dict[str, int] = {}
+        self._attempt_generation = 0
+        self._attempt_lock = threading.Lock()
 
     # -- wiring ---------------------------------------------------------------
     def install_update_runner(self, runner: Callable[[], None]) -> None:
@@ -75,10 +84,40 @@ class ServiceProvider:
         """Insert (rec|user|attempt -> h) into the pending log batch."""
         identifier = attempt_identifier(username, attempt)
         self.log.insert(identifier, commitment)
+        with self._attempt_lock:
+            counters = self._current_counters()
+            counters[username] = max(counters.get(username, 0), attempt + 1)
         return identifier
 
+    def _current_counters(self) -> Dict[str, int]:
+        """The counters for the live log generation (caller holds the lock)."""
+        if self._attempt_generation != self.log.garbage_collections:
+            self._attempt_counters.clear()
+            self._attempt_generation = self.log.garbage_collections
+        return self._attempt_counters
+
     def next_attempt_number(self, username: str) -> int:
-        """First unused attempt slot for a user in the current log."""
+        """First unused attempt slot for a user in the current log (O(1))."""
+        with self._attempt_lock:
+            return self._current_counters().get(username, 0)
+
+    def reserve_attempt_number(self, username: str) -> int:
+        """Atomically claim the next attempt slot for a user.
+
+        Concurrent sessions for the same user each get a distinct slot; a
+        reserved slot stays burnt even if the session later aborts (attempt
+        budgets count *attempts*, so this only ever under-serves the user).
+        """
+        with self._attempt_lock:
+            counters = self._current_counters()
+            attempt = counters.get(username, 0)
+            counters[username] = attempt + 1
+            return attempt
+
+    def scan_attempt_number(self, username: str) -> int:
+        """Reference implementation of :meth:`next_attempt_number`: rescan
+        the whole log plus the pending batch.  O(log size); kept as a
+        cross-check for the incremental counters (used by the test suite)."""
         prefix = user_prefix(username)
         used = set()
         for identifier, _ in self.log.dict.items():
@@ -106,6 +145,24 @@ class ServiceProvider:
         if proof is None:  # pragma: no cover - insert above guarantees presence
             raise ProviderError("inclusion proof unavailable after update")
         return identifier, proof
+
+    def prove_inclusion(self, identifier: bytes, value: bytes) -> Optional[InclusionProof]:
+        """A fresh inclusion proof against the *current* digest.
+
+        Proofs are digest-exact (the authenticated dictionary is a Merkle
+        BST), so a client whose recovery straddles an update epoch must
+        refresh its proof before retrying an HSM; returns None if the entry
+        is not committed yet.
+        """
+        return self.log.prove_includes(identifier, value)
+
+    def share_phase_done(self, username: str, attempt: int) -> None:
+        """Client hint: it has finished requesting shares for an attempt.
+
+        A liveness (never security) signal: the batched service uses it to
+        schedule the next update epoch without invalidating the inclusion
+        proofs of in-flight sessions.  The plain provider ignores it.
+        """
 
     def recovery_attempts_for(self, username: str) -> List[Tuple[bytes, bytes]]:
         """All logged attempts for a user (what a monitoring client checks)."""

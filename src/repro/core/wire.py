@@ -181,6 +181,69 @@ def _decode_bfe_ciphertext_framed(reader: _Reader) -> BfeCiphertext:
 
 
 # ---------------------------------------------------------------------------
+# Decrypt-share replies (HSM -> client, step Ð of Figure 3)
+# ---------------------------------------------------------------------------
+#: The HSM decrypted and punctured; the payload is an ElGamal ciphertext.
+REPLY_OK = 0
+#: The HSM refused the request (bad proof, wrong cluster, policy violation).
+REPLY_REFUSED = 1
+#: The share was already recovered; the Bloom-filter key is punctured.
+REPLY_PUNCTURED = 2
+#: The device has fail-stopped (benign hardware failure).
+REPLY_UNAVAILABLE = 3
+#: The inclusion proof is stale (a later epoch advanced the digest);
+#: the client should refresh its proof and retry.
+REPLY_STALE_PROOF = 4
+
+_REPLY_ERROR_STATUSES = (
+    REPLY_REFUSED,
+    REPLY_PUNCTURED,
+    REPLY_UNAVAILABLE,
+    REPLY_STALE_PROOF,
+)
+
+
+def encode_decrypt_reply(reply: ElGamalCiphertext) -> bytes:
+    """Serialize a successful decrypt-share reply."""
+    return bytes([WIRE_VERSION, REPLY_OK]) + _blob(reply.to_bytes())
+
+
+def encode_decrypt_error(status: int, message: str) -> bytes:
+    """Serialize a refusal/puncture/unavailable outcome as wire bytes.
+
+    Errors must cross the transport as data, not as shared Python exception
+    objects: the client re-raises from the status code alone.
+    """
+    if status not in _REPLY_ERROR_STATUSES:
+        raise WireFormatError(f"not an error reply status: {status}")
+    return bytes([WIRE_VERSION, status]) + _text(message)
+
+
+def decode_decrypt_reply(data: bytes):
+    """Decode a reply into ``(status, payload)``.
+
+    ``payload`` is an :class:`ElGamalCiphertext` for :data:`REPLY_OK` and a
+    human-readable message string for the error statuses.
+    """
+    reader = _Reader(data)
+    version = reader.u8()
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    status = reader.u8()
+    if status == REPLY_OK:
+        try:
+            payload: object = ElGamalCiphertext.from_bytes(reader.blob())
+        except ValueError as exc:
+            raise WireFormatError(str(exc)) from exc
+    elif status in _REPLY_ERROR_STATUSES:
+        payload = reader.text()
+    else:
+        raise WireFormatError(f"unknown reply status {status}")
+    reader.finish()
+    return status, payload
+
+
+# ---------------------------------------------------------------------------
 # Log inclusion proofs
 # ---------------------------------------------------------------------------
 def encode_inclusion_proof(proof: InclusionProof) -> bytes:

@@ -64,6 +64,13 @@ class HsmRefusedError(Exception):
     """The HSM refused a request that violates its policy."""
 
 
+class HsmStaleProofError(HsmRefusedError):
+    """The inclusion proof does not verify against the device's current
+    digest.  Proofs are digest-exact, so this usually means a later update
+    epoch advanced the log mid-recovery — the client should fetch a fresh
+    proof and retry, rather than write the share off as ⊥."""
+
+
 @dataclass(frozen=True)
 class HsmPublicInfo:
     """What an HSM publishes: identity, keys, epoch."""
@@ -305,8 +312,9 @@ class HsmDevice:
                 request.commitment,
                 request.inclusion_proof,
             ):
-                raise HsmRefusedError(
-                    f"HSM {self.index}: recovery attempt not found in the log"
+                raise HsmStaleProofError(
+                    f"HSM {self.index}: recovery attempt not proven against my"
+                    " current log digest"
                 )
             # (2) the opening matches the logged commitment
             if not verify_opening(request.commitment, request.opening):

@@ -76,7 +76,15 @@ class HsmFleet:
     def fail_random(self, count: int, rng: Optional[random.Random] = None) -> List[int]:
         """Fail-stop ``count`` random live HSMs; return their indices."""
         rng = rng or random.Random()
-        victims = rng.sample([h.index for h in self.online()], count)
+        online = [h.index for h in self.online()]
+        if count < 0:
+            raise ValueError(f"cannot fail a negative number of HSMs ({count})")
+        if count > len(online):
+            raise ValueError(
+                f"cannot fail {count} HSMs: only {len(online)} of {len(self.hsms)}"
+                " are online"
+            )
+        victims = rng.sample(online, count)
         for index in victims:
             self.hsms[index].fail_stop()
         return victims

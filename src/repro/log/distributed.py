@@ -354,10 +354,34 @@ class DistributedLog:
         ``hsms`` are duck-typed: each must offer ``audit_log_update`` and
         ``accept_log_digest`` (see ``repro.hsm.device.HsmDevice``) and an
         ``is_failed`` attribute.
+
+        The epoch is transactional: if certification fails (no quorum, bad
+        chunk), the provider rolls its state back to ``d``.  Without the
+        rollback one failed epoch would leave the provider's digest
+        permanently ahead of every HSM — no future epoch could ever build
+        on it — turning a transient fault into a bricked log.
         """
         online = [h for h in hsms if not h.is_failed]
+        entries_before = len(self.ordered_entries)
+        pending_before = list(self.pending)
         round_ = self.prepare_update(num_chunks=max(1, len(online)))
-        self.certify_round(round_, hsms)
+        try:
+            self.certify_round(round_, hsms)
+        except Exception:
+            self._rollback_failed_round(entries_before, pending_before)
+            raise
+
+    def _rollback_failed_round(
+        self, entries_before: int, pending_before: List[Tuple[bytes, bytes]]
+    ) -> None:
+        """Undo a prepared-but-uncertified round: the insertions go back to
+        pending (they can ride a later epoch) and the dictionary is rebuilt
+        at its pre-round state."""
+        del self.ordered_entries[entries_before:]
+        self.dict = AuthenticatedDictionary.from_entries(self.ordered_entries)
+        self.pending = pending_before + self.pending
+        self.epoch -= 1
+        self.round_history.pop()
 
     def certify_round(self, round_: UpdateRound, hsms: Sequence) -> None:
         """Collect audits + signatures for an already-prepared round."""
@@ -382,6 +406,15 @@ class DistributedLog:
             survivors.append(hsm)
         if not signatures:
             raise LogUpdateRejected("no online HSMs to certify the update")
+        # Fail fast on a lost quorum *before* any device adopts d': the
+        # devices would all reject the aggregate anyway (their quorum check
+        # uses the same directory), and raising here keeps acceptance
+        # all-or-nothing so a rollback cannot strand devices on d'.
+        quorum = self.config.quorum_fraction * len(list(hsms))
+        if len(signatures) < quorum:
+            raise LogUpdateRejected(
+                f"only {len(signatures)} signers, need {quorum:.1f} for a quorum"
+            )
         # Appendix B.3: audit sets are deterministic in (R, node id), so the
         # survivors can recompute which chunks the failed HSMs would have
         # audited and recursively cover any gap.
@@ -390,17 +423,34 @@ class DistributedLog:
             self._cover_chunks(round_, survivors, uncovered)
         scheme = online[0].multisig_scheme
         aggregate = scheme.aggregate(signatures)
-        for hsm in online:
-            hsm.accept_log_digest(round_, aggregate, tuple(signer_ids))
-        self.certified_transitions.append(
-            CertifiedTransition(
-                old_digest=round_.old_digest,
-                new_digest=round_.new_digest,
-                root=round_.root,
-                aggregate=aggregate,
-                signer_ids=tuple(signer_ids),
-            )
+        # Record the certified transition *before* fanning out acceptance:
+        # once a quorum has signed, the transition is certified regardless
+        # of who hears about it, and any device that misses the accept
+        # (fail-stop below, or downtime) replays it from this chain via
+        # ``catch_up`` — without it, one mid-loop failure would strand the
+        # early acceptors on d' forever.
+        transition = CertifiedTransition(
+            old_digest=round_.old_digest,
+            new_digest=round_.new_digest,
+            root=round_.root,
+            aggregate=aggregate,
+            signer_ids=tuple(signer_ids),
         )
+        self.certified_transitions.append(transition)
+        try:
+            for hsm in online:
+                try:
+                    hsm.accept_log_digest(round_, aggregate, tuple(signer_ids))
+                except Exception:
+                    if getattr(hsm, "is_failed", False):
+                        continue  # fail-stopped mid-accept: catches up later
+                    raise
+        except Exception:
+            # A genuine rejection (every device checks the same aggregate
+            # deterministically, so the first device refuses before any
+            # accepts): the transition never took effect.
+            self.certified_transitions.pop()
+            raise
 
     def _uncovered_chunks(self, round_: UpdateRound, signer_ids: Sequence[int]) -> List[int]:
         """Chunks not in any signer's deterministic audit set."""

@@ -29,13 +29,26 @@ Operation names used throughout the package:
 from __future__ import annotations
 
 import contextlib
+import threading
 from collections import Counter
 from typing import Dict, Iterator, List, Optional
 
-# The stack of attached meters.  A plain module-level list is sufficient: the
-# simulator is single-threaded, and a list lets nested scopes (client ops
-# inside a deployment-wide trace) each observe the operations they cover.
-_ACTIVE_METERS: List["OpMeter"] = []
+
+class _MeterStack(threading.local):
+    """Per-thread stack of attached meters.
+
+    A stack (not a single slot) lets nested scopes — client ops inside a
+    deployment-wide trace — each observe the operations they cover.  It is
+    thread-local because the service layer runs many sessions and one
+    worker thread per HSM concurrently: a client thread's operations must
+    never land on another session's meter.
+    """
+
+    def __init__(self) -> None:
+        self.meters: List["OpMeter"] = []
+
+
+_ACTIVE = _MeterStack()
 
 
 class OpMeter:
@@ -71,12 +84,13 @@ class OpMeter:
 
     @contextlib.contextmanager
     def attached(self) -> Iterator["OpMeter"]:
-        """Attach this meter so module-level :func:`count` reports to it."""
-        _ACTIVE_METERS.append(self)
+        """Attach this meter so module-level :func:`count` reports to it
+        (on this thread; other threads' operations are never observed)."""
+        _ACTIVE.meters.append(self)
         try:
             yield self
         finally:
-            _ACTIVE_METERS.remove(self)
+            _ACTIVE.meters.remove(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
@@ -84,14 +98,14 @@ class OpMeter:
 
 
 def count(op: str, units: float = 1) -> None:
-    """Report an operation to every attached meter (no-op when none)."""
-    for meter in _ACTIVE_METERS:
+    """Report an operation to every meter attached on this thread."""
+    for meter in _ACTIVE.meters:
         meter.counts[op] += units
 
 
 def active_meter() -> Optional[OpMeter]:
-    """Return the innermost attached meter, or ``None``."""
-    return _ACTIVE_METERS[-1] if _ACTIVE_METERS else None
+    """Return this thread's innermost attached meter, or ``None``."""
+    return _ACTIVE.meters[-1] if _ACTIVE.meters else None
 
 
 @contextlib.contextmanager

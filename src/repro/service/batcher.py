@@ -1,0 +1,173 @@
+"""Batched log epochs: one ``run_update`` serves many recovery sessions.
+
+The paper's deployment amortizes the distributed-log update by batching all
+client insertions into one epoch every ~10 minutes.  :class:`EpochBatcher`
+reproduces that rhythm: sessions ``submit`` their log insertion and block on
+an :class:`EpochTicket`; each ``tick`` commits exactly one update epoch for
+everything pending and fans the inclusion proofs back to every waiter.
+
+Because inclusion proofs are digest-exact (Merkle BST), committing an epoch
+invalidates the proofs of sessions still mid-share-phase.  Each served
+session therefore holds an *epoch lease* until it reports its share phase
+done (``release``); a tick waits for outstanding leases to drain — bounded
+by ``lease_timeout`` so a crashed client cannot stall the log forever
+(abandoned sessions fall back to client-side proof refresh).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, List, Optional, Set, Tuple
+
+from repro.core.provider import ProviderError, ServiceProvider
+
+#: Bound on the per-epoch history kept for observability/tests; aggregate
+#: counters (epochs_run, sessions_served, ...) are exact forever.
+_HISTORY_LIMIT = 4096
+
+
+class ServiceTimeout(ProviderError):
+    """A session timed out waiting for the service (no epoch tick arrived)."""
+
+
+class EpochTicket:
+    """One session's claim on the next epoch; resolves to (id, proof)."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._result: Optional[Tuple[bytes, object]] = None
+        self._error: Optional[Exception] = None
+
+    def resolve(self, result: Tuple[bytes, object]) -> None:
+        self._result = result
+        self._done.set()
+
+    def fail(self, error: Exception) -> None:
+        self._error = error
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Tuple[bytes, object]:
+        if not self._done.wait(timeout):
+            raise ServiceTimeout(
+                f"no log epoch committed within {timeout}s (is the ticker running?)"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+class EpochBatcher:
+    """Accumulates pending log insertions; commits one epoch per tick."""
+
+    def __init__(
+        self,
+        provider: ServiceProvider,
+        lease_timeout: float = 10.0,
+        run_epoch: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """``run_epoch`` commits one log update; defaults to the provider's
+        installed runner.  The service passes a runner that routes every
+        per-device protocol call through that device's FIFO worker."""
+        self._provider = provider
+        self._run_epoch = run_epoch or provider.run_log_update
+        self._lease_timeout = lease_timeout
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        # (username, attempt, identifier, commitment, ticket) awaiting a tick
+        self._waiters: List[Tuple[str, int, bytes, bytes, EpochTicket]] = []
+        # (username, attempt) sessions served by the last epoch and still in
+        # their share phase — their inclusion proofs pin the current digest.
+        self._leases: Set[Tuple[str, int]] = set()
+        self.epochs_run = 0
+        self.entries_committed = 0
+        self.sessions_served = 0
+        self.lease_timeouts = 0
+        self.epoch_failures = 0
+        #: sessions served per epoch, newest-last (stress tests assert on it)
+        self.epoch_sessions: Deque[int] = deque(maxlen=_HISTORY_LIMIT)
+        #: digest after each committed epoch (proof-validity cross-checks)
+        self.epoch_digests: Deque[bytes] = deque(maxlen=_HISTORY_LIMIT)
+
+    @property
+    def lock(self) -> threading.Lock:
+        """Serializes log access; hold it for any out-of-band log reads."""
+        return self._lock
+
+    def submit(self, username: str, attempt: int, commitment: bytes) -> EpochTicket:
+        """Queue one log insertion for the next epoch."""
+        ticket = EpochTicket()
+        with self._lock:
+            try:
+                identifier = self._provider.log_recovery_attempt(
+                    username, attempt, commitment
+                )
+            except KeyError as exc:
+                ticket.fail(ProviderError(str(exc)))
+                return ticket
+            self._waiters.append((username, attempt, identifier, commitment, ticket))
+        return ticket
+
+    def pending_sessions(self) -> int:
+        with self._lock:
+            return len(self._waiters)
+
+    def tick(self) -> int:
+        """Commit one update epoch; returns the number of sessions served.
+
+        Waits (bounded) for the previous epoch's share phases to drain
+        first, then runs exactly one ``run_update`` over everything pending
+        and resolves every waiting ticket with its inclusion proof.
+        """
+        with self._drained:
+            deadline = time.monotonic() + self._lease_timeout
+            while self._leases:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # Stragglers lose their lease; if still alive they will
+                    # refresh their proofs through the provider.
+                    self.lease_timeouts += 1
+                    self._leases.clear()
+                    break
+                self._drained.wait(remaining)
+            waiters, self._waiters = self._waiters, []
+            if not waiters and not self._provider.log.pending:
+                return 0
+            try:
+                self._run_epoch()
+            except Exception as exc:
+                # The epoch itself failed (quorum lost, bad chunk, worker
+                # timeout).  Fail this batch's tickets but keep the batcher
+                # alive: the ticker must survive to serve later sessions.
+                self.epoch_failures += 1
+                error = ProviderError(f"log update epoch failed: {exc!r}")
+                error.__cause__ = exc
+                for *_, ticket in waiters:
+                    ticket.fail(error)
+                return 0
+            self.epochs_run += 1
+            self.entries_committed += len(waiters)
+            self.epoch_sessions.append(len(waiters))
+            self.epoch_digests.append(self._provider.log.digest)
+            for username, attempt, identifier, commitment, ticket in waiters:
+                proof = self._provider.log.prove_includes(identifier, commitment)
+                if proof is None:  # pragma: no cover - insert guarantees presence
+                    ticket.fail(ProviderError("inclusion proof unavailable after epoch"))
+                    continue
+                self._leases.add((username, attempt))
+                self.sessions_served += 1
+                ticket.resolve((identifier, proof))
+        return len(waiters)
+
+    def release(self, username: str, attempt: int) -> None:
+        """Drop a session's epoch lease (its share phase is over)."""
+        with self._drained:
+            self._leases.discard((username, attempt))
+            if not self._leases:
+                self._drained.notify_all()
+
+    def outstanding_leases(self) -> int:
+        with self._lock:
+            return len(self._leases)

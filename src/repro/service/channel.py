@@ -1,0 +1,130 @@
+"""The client ↔ HSM transport boundary.
+
+A :class:`Channel` is the only way client code reaches an HSM: one
+``decrypt_share`` method.  The default transport (:class:`WireChannel`)
+serializes the request and the reply through ``repro.core.wire`` — the
+client and the device exchange *bytes*, never live Python objects, so the
+trust boundary of the paper (everything between client and HSM crosses the
+untrusted provider's network) is real in the reproduction too.
+
+Error outcomes (refused / punctured / fail-stopped) cross the wire as
+status codes and are re-raised client-side as the same exception types the
+devices throw, so protocol code is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.core import wire
+from repro.crypto.bfe import PuncturedKeyError
+from repro.crypto.elgamal import ElGamalCiphertext
+from repro.hsm.device import (
+    DecryptShareRequest,
+    HsmRefusedError,
+    HsmStaleProofError,
+    HsmUnavailableError,
+)
+
+#: Maps an HSM index to the Channel reaching that device.
+ChannelFactory = Callable[[int], "Channel"]
+
+#: The single status↔exception table, most-derived exception types first so
+#: the encoding side can pick the first isinstance match (HsmStaleProofError
+#: subclasses HsmRefusedError).  Both transport directions derive from it.
+_ERROR_STATUS_BY_TYPE = (
+    (HsmStaleProofError, wire.REPLY_STALE_PROOF),
+    (HsmUnavailableError, wire.REPLY_UNAVAILABLE),
+    (PuncturedKeyError, wire.REPLY_PUNCTURED),
+    (HsmRefusedError, wire.REPLY_REFUSED),
+)
+_ERROR_TYPES = tuple(exc_type for exc_type, _ in _ERROR_STATUS_BY_TYPE)
+_STATUS_EXCEPTIONS = {status: exc_type for exc_type, status in _ERROR_STATUS_BY_TYPE}
+
+
+def _status_for(exc: Exception) -> int:
+    for exc_type, status in _ERROR_STATUS_BY_TYPE:
+        if isinstance(exc, exc_type):
+            return status
+    raise TypeError(f"no wire status for {type(exc)}")  # pragma: no cover
+
+
+class Channel:
+    """Narrow interface between a client and one HSM."""
+
+    def decrypt_share(self, request: DecryptShareRequest) -> ElGamalCiphertext:
+        raise NotImplementedError
+
+
+class DirectChannel(Channel):
+    """In-process shortcut: call the device object directly.
+
+    Kept for tests and micro-benchmarks that want to exclude serialization
+    cost; production wiring uses :class:`WireChannel`.
+    """
+
+    def __init__(self, device) -> None:
+        self._device = device
+
+    def decrypt_share(self, request: DecryptShareRequest) -> ElGamalCiphertext:
+        return self._device.decrypt_share(request)
+
+
+class HsmWireEndpoint:
+    """Device-side half of the wire transport: bytes in, bytes out.
+
+    Decodes the request, runs the device, and encodes the outcome —
+    including the error outcomes, which become status replies rather than
+    exceptions crossing the boundary.
+    """
+
+    def __init__(self, device) -> None:
+        self._device = device
+
+    def handle_decrypt_share(self, request_bytes: bytes) -> bytes:
+        request = wire.decode_decrypt_request(request_bytes)
+        try:
+            reply = self._device.decrypt_share(request)
+        except _ERROR_TYPES as exc:
+            return wire.encode_decrypt_error(_status_for(exc), str(exc))
+        return wire.encode_decrypt_reply(reply)
+
+
+class WireChannel(Channel):
+    """Default transport: every request/reply round-trips through bytes."""
+
+    def __init__(self, endpoint: HsmWireEndpoint) -> None:
+        self._endpoint = endpoint
+
+    def decrypt_share(self, request: DecryptShareRequest) -> ElGamalCiphertext:
+        reply_bytes = self._endpoint.handle_decrypt_share(
+            wire.encode_decrypt_request(request)
+        )
+        status, payload = wire.decode_decrypt_reply(reply_bytes)
+        if status == wire.REPLY_OK:
+            return payload
+        raise _STATUS_EXCEPTIONS[status](payload)
+
+
+def wire_channels(devices: Sequence) -> ChannelFactory:
+    """A factory of wire channels over an indexable device collection."""
+    cache: Dict[int, WireChannel] = {}
+
+    def factory(index: int) -> Channel:
+        if index not in cache:
+            cache[index] = WireChannel(HsmWireEndpoint(devices[index]))
+        return cache[index]
+
+    return factory
+
+
+def direct_channels(devices: Sequence) -> ChannelFactory:
+    """A factory of direct (no serialization) channels."""
+    cache: Dict[int, DirectChannel] = {}
+
+    def factory(index: int) -> Channel:
+        if index not in cache:
+            cache[index] = DirectChannel(devices[index])
+        return cache[index]
+
+    return factory

@@ -1,0 +1,268 @@
+"""The concurrent recovery service: many sessions, one epoch per tick.
+
+``RecoveryService`` is the deployment's serving front end.  It owns
+
+- a :class:`~repro.service.workers.HsmWorkerPool` — one FIFO worker per
+  HSM, so device state is serialized per device while different devices
+  serve different sessions in parallel;
+- an :class:`~repro.service.batcher.EpochBatcher` — all sessions' log
+  insertions ride one shared update epoch per tick instead of paying a
+  full epoch each (the paper's every-~10-minutes batch);
+- a ticker thread committing epochs at ``tick_interval`` (or manual
+  ``tick()`` calls for deterministic tests).
+
+Clients created through :meth:`new_client` are ordinary
+:class:`~repro.core.client.Client` objects; they just see a provider facade
+whose ``log_and_prove`` blocks on the shared epoch and whose HSM channels
+run through the worker queues.  ``epoch_mode="per-request"`` keeps the
+seed's one-epoch-per-recovery behaviour (serializing sessions, since an
+epoch invalidates every other in-flight proof) — it exists so benchmarks
+can measure exactly what batching buys.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.core import wire
+from repro.core.client import Client
+from repro.core.protocol import Deployment
+from repro.core.provider import ProviderError, ServiceProvider
+from repro.service.batcher import EpochBatcher
+from repro.service.channel import ChannelFactory, direct_channels, wire_channels
+from repro.service.workers import HsmWorkerPool, queued_channels
+
+#: Device methods of the Figure 5 epoch protocol that mutate or read
+#: device state and therefore must serialize with decrypt-share traffic.
+_EPOCH_METHODS = frozenset(
+    (
+        "audit_log_update",
+        "audit_specific_chunks",
+        "accept_log_digest",
+        "accept_certified_transition",
+        "accept_garbage_collection",
+    )
+)
+
+
+class _FifoDevice:
+    """Epoch-protocol view of one HSM that routes calls through its FIFO
+    worker, so log updates obey the same per-device serialization as
+    decrypt-share traffic — device state is never touched by two threads
+    at once, which is the worker pool's whole invariant."""
+
+    def __init__(self, pool: HsmWorkerPool, device) -> None:
+        self._pool = pool
+        self._device = device
+
+    def __getattr__(self, name):
+        attr = getattr(self._device, name)
+        if name in _EPOCH_METHODS:
+            return lambda *args, **kwargs: self._pool.call(
+                self._device.index, lambda: attr(*args, **kwargs)
+            )
+        return attr
+
+
+class BatchedProviderFacade:
+    """What service clients see as "the provider".
+
+    Delegates to the real :class:`ServiceProvider`, with three changes:
+    attempt numbers are *reserved* atomically (concurrent sessions for one
+    user cannot collide), ``log_and_prove`` waits for the shared epoch
+    instead of running its own, and uploaded/fetched recovery ciphertexts
+    round-trip through the wire encoding (the client talks to a network
+    service, not to in-process object storage).
+    """
+
+    def __init__(self, service: "RecoveryService") -> None:
+        self._service = service
+        self._provider = service.provider
+
+    def __getattr__(self, name):
+        return getattr(self._provider, name)
+
+    # -- attempt numbering ----------------------------------------------------
+    def next_attempt_number(self, username: str) -> int:
+        return self._provider.reserve_attempt_number(username)
+
+    # -- the log, via the shared epoch ----------------------------------------
+    def log_and_prove(self, username: str, attempt: int, commitment: bytes):
+        service = self._service
+        if service.epoch_mode == "per-request":
+            service.acquire_session_slot(username, attempt)
+            try:
+                with service.batcher.lock:
+                    identifier = self._provider.log_recovery_attempt(
+                        username, attempt, commitment
+                    )
+                    service.run_epoch()
+                    proof = self._provider.log.prove_includes(identifier, commitment)
+                    if proof is None:  # pragma: no cover - insert guarantees it
+                        raise ProviderError("inclusion proof unavailable after epoch")
+                    return identifier, proof
+            except BaseException:
+                service.release_session_slot(username, attempt)
+                raise
+        ticket = service.batcher.submit(username, attempt, commitment)
+        return ticket.wait(service.session_timeout)
+
+    def prove_inclusion(self, identifier: bytes, value: bytes):
+        with self._service.batcher.lock:
+            return self._provider.prove_inclusion(identifier, value)
+
+    def share_phase_done(self, username: str, attempt: int) -> None:
+        if self._service.epoch_mode == "per-request":
+            self._service.release_session_slot(username, attempt)
+        else:
+            self._service.batcher.release(username, attempt)
+
+    # -- backup storage crosses the wire ---------------------------------------
+    def upload_backup(self, username: str, ciphertext) -> int:
+        blob = wire.encode_recovery_ciphertext(ciphertext)
+        return self._provider.upload_backup(
+            username, wire.decode_recovery_ciphertext(blob)
+        )
+
+    def fetch_backup(self, username: str, index: int = -1):
+        ciphertext = self._provider.fetch_backup(username, index)
+        return wire.decode_recovery_ciphertext(
+            wire.encode_recovery_ciphertext(ciphertext)
+        )
+
+
+class RecoveryService:
+    """Concurrent serving front end over one deployment."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        transport: str = "wire",
+        epoch_mode: str = "batched",
+        tick_interval: float = 0.02,
+        lease_timeout: float = 10.0,
+        session_timeout: float = 60.0,
+        call_timeout: float = 60.0,
+    ) -> None:
+        if transport not in ("wire", "direct"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if epoch_mode not in ("batched", "per-request"):
+            raise ValueError(f"unknown epoch mode {epoch_mode!r}")
+        self.deployment = deployment
+        self.provider: ServiceProvider = deployment.provider
+        self.epoch_mode = epoch_mode
+        self.session_timeout = session_timeout
+        self.pool = HsmWorkerPool(len(deployment.fleet), call_timeout=call_timeout)
+        self._epoch_fleet = [_FifoDevice(self.pool, hsm) for hsm in deployment.fleet]
+        self.batcher = EpochBatcher(
+            self.provider, lease_timeout=lease_timeout, run_epoch=self.run_epoch
+        )
+        inner = (wire_channels if transport == "wire" else direct_channels)(
+            deployment.fleet
+        )
+        self._channels: ChannelFactory = queued_channels(self.pool, inner)
+        self._facade = BatchedProviderFacade(self)
+        self._tick_interval = tick_interval
+        self._ticker: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        # per-request mode: one session owns the log at a time (an epoch per
+        # request invalidates every other in-flight proof, so overlap is
+        # unsound — this slot is what batching removes).
+        self._slot_cv = threading.Condition()
+        self._slot_owner: Optional[tuple] = None
+        self.slot_steals = 0
+        self.clients: List[Client] = []
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "RecoveryService":
+        self.pool.start()
+        if self._ticker is None:
+            self._stop.clear()
+            self._ticker = threading.Thread(
+                target=self._run_ticker, name="epoch-ticker", daemon=True
+            )
+            self._ticker.start()
+        return self
+
+    def stop(self) -> None:
+        if self._ticker is not None:
+            self._stop.set()
+            self._ticker.join(timeout=self.session_timeout)
+            self._ticker = None
+        self.pool.stop()
+
+    def __enter__(self) -> "RecoveryService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run_ticker(self) -> None:
+        while not self._stop.wait(self._tick_interval):
+            self.batcher.tick()
+        # Final drain so sessions submitted around shutdown still resolve.
+        self.batcher.tick()
+
+    def tick(self) -> int:
+        """Commit one epoch now (manual mode for deterministic tests)."""
+        return self.batcher.tick()
+
+    def run_epoch(self) -> None:
+        """One log-update epoch with every device call routed through that
+        device's FIFO worker (the pool must be running)."""
+        self.provider.log.run_update(self._epoch_fleet)
+
+    # -- per-request mode session slot ----------------------------------------
+    def acquire_session_slot(self, username: str, attempt: int) -> None:
+        deadline = time.monotonic() + self.session_timeout
+        with self._slot_cv:
+            while self._slot_owner is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # The owner died between begin_recovery and its share
+                    # phase: steal the slot so one crashed client cannot
+                    # wedge the service (same philosophy as lease_timeout).
+                    self.slot_steals += 1
+                    break
+                self._slot_cv.wait(remaining)
+            self._slot_owner = (username, attempt)
+
+    def release_session_slot(self, username: str, attempt: int) -> None:
+        with self._slot_cv:
+            # Owner check makes release idempotent and ignores a stale
+            # release from a session whose slot was stolen.
+            if self._slot_owner == (username, attempt):
+                self._slot_owner = None
+                self._slot_cv.notify()
+
+    # -- clients ---------------------------------------------------------------
+    def new_client(self, username: str) -> Client:
+        """A client wired through the service: batched log, queued channels."""
+        client = Client(
+            username=username,
+            params=self.deployment.params,
+            provider=self._facade,
+            channels=self._channels,
+            mpk=self.deployment.fleet.master_public_key(),
+        )
+        self.clients.append(client)
+        # Registered with the deployment too, so mpk refreshes after key
+        # rotation reach service clients as well.
+        self.deployment.clients.append(client)
+        return client
+
+    # -- observability ---------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "epoch_mode": self.epoch_mode,
+            "epochs_run": self.batcher.epochs_run,
+            "sessions_served": self.batcher.sessions_served,
+            "entries_committed": self.batcher.entries_committed,
+            "epoch_sessions": list(self.batcher.epoch_sessions),
+            "lease_timeouts": self.batcher.lease_timeouts,
+            "epoch_failures": self.batcher.epoch_failures,
+            "slot_steals": self.slot_steals,
+            "jobs_per_device": list(self.pool.jobs_processed),
+        }

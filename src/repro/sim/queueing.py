@@ -51,6 +51,53 @@ class MM1Queue:
         return -math.log(1.0 - p) / (self.service_rate - self.arrival_rate)
 
 
+@dataclass(frozen=True)
+class EpochBatchModel:
+    """Latency/cost model of batched log epochs (the serving layer).
+
+    Sessions arrive as a Poisson stream at ``arrival_rate`` (sessions/s)
+    and wait for the next epoch tick, committed every ``epoch_interval``
+    seconds at a fixed cost of ``epoch_seconds`` of log-update work.  With
+    per-request epochs every session pays ``epoch_seconds`` itself; with
+    batching the cost is amortized over everyone sharing the tick.
+    """
+
+    arrival_rate: float  # sessions/second offered to the service
+    epoch_interval: float  # seconds between batch ticks
+    epoch_seconds: float  # cost of one run_update epoch
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError("arrival rate must be non-negative")
+        if self.epoch_interval <= 0 or self.epoch_seconds < 0:
+            raise ValueError("epoch interval must be positive, cost non-negative")
+
+    @property
+    def sessions_per_epoch(self) -> float:
+        return self.arrival_rate * self.epoch_interval
+
+    def mean_wait(self) -> float:
+        """Mean added latency: uniform arrival within a tick waits T/2."""
+        return self.epoch_interval / 2.0
+
+    def wait_percentile(self, p: float = 0.99) -> float:
+        if not (0 < p < 1):
+            raise ValueError("percentile must be in (0, 1)")
+        return p * self.epoch_interval
+
+    def epoch_cost_per_session(self) -> float:
+        """Amortized log-update seconds each session pays.
+
+        Falls from ``epoch_seconds`` (per-request, <=1 session per epoch)
+        toward ``epoch_seconds / (λT)`` as batches fill up.
+        """
+        return self.epoch_seconds / max(1.0, self.sessions_per_epoch)
+
+    def speedup_vs_per_request(self) -> float:
+        """Log-update work saved by batching: sessions per epoch, >= 1."""
+        return max(1.0, self.sessions_per_epoch)
+
+
 def min_fleet_for_latency(
     total_job_rate: float,
     per_hsm_service_rate: float,

@@ -37,3 +37,12 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "recovered successfully" in out
         assert "forward security" in out
+
+    def test_loadtest_small(self, capsys):
+        assert main(
+            ["loadtest", "--clients", "4", "--hsms", "8", "--cluster", "3",
+             "--tick-interval", "0.01"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "all sessions recovered their backups" in out
+        assert "log epochs committed" in out

@@ -178,6 +178,55 @@ class TestFailureAndCatchUp:
         finally:
             fleet[5].restart()
 
+    def test_failed_certification_rolls_the_provider_back(self, fleet, log):
+        """A quorum-less epoch must not leave the provider's digest ahead of
+        the fleet: the insertions return to pending and a later epoch (once
+        quorum is back) commits them."""
+        log.insert(b"rb1", b"h")
+        log.run_update(fleet.hsms)
+        digest_before = log.digest
+        for hsm in list(fleet)[:4]:  # 4/8 online < 0.75 quorum
+            hsm.fail_stop()
+        log.insert(b"rb2", b"h")
+        with pytest.raises(LogUpdateRejected):
+            log.run_update(fleet.hsms)
+        assert log.digest == digest_before  # rolled back, not stranded ahead
+        assert log.pending == [(b"rb2", b"h")]
+        assert log.get(b"rb2") is None
+        fleet.restart_all()
+        log.run_update(fleet.hsms)  # the insertion rides the next epoch
+        assert log.get(b"rb2") == b"h"
+        assert fleet[0].log_digest == log.digest
+
+    def test_hsm_failing_mid_accept_does_not_brick_the_log(self, fleet, log):
+        """A device that fail-stops between signing and accepting d' must
+        not strand the epoch: the transition is certified (a quorum
+        signed), the survivors adopt d', and the victim catches up from the
+        certified chain after restarting."""
+        from repro.hsm.device import HsmUnavailableError
+
+        log.insert(b"ma1", b"h")
+        log.run_update(fleet.hsms)
+        victim = fleet[3]
+
+        def die_mid_accept(*args, **kwargs):
+            victim.fail_stop()
+            raise HsmUnavailableError("died between signing and accepting")
+
+        victim.accept_log_digest = die_mid_accept
+        try:
+            log.insert(b"ma2", b"h")
+            log.run_update(fleet.hsms)  # must succeed despite the mid-accept death
+        finally:
+            del victim.accept_log_digest
+        assert log.get(b"ma2") == b"h"
+        assert fleet[0].log_digest == log.digest
+        assert victim.log_digest != log.digest
+        victim.restart()
+        log.insert(b"ma3", b"h")
+        log.run_update(fleet.hsms)
+        assert victim.log_digest == log.digest  # caught up via certified chain
+
     def test_rejoined_hsm_catches_up(self, fleet, log):
         fleet[6].fail_stop()
         log.insert(b"c1", b"h")

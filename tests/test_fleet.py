@@ -54,6 +54,22 @@ class TestFaultInjection:
         stolen = fleet.compromise([1, 4])
         assert [s.index for s in stolen] == [1, 4]
 
+    def test_fail_more_than_online_is_a_clear_error(self, fleet):
+        """Regression: used to surface as random.sample's opaque ValueError."""
+        fleet.restart_all()
+        with pytest.raises(ValueError, match="only 6 of 6 are online"):
+            fleet.fail_random(7)
+        assert len(fleet.online()) == 6  # nothing was failed by the refusal
+        fleet.fail_random(2, random.Random(3))
+        with pytest.raises(ValueError, match="only 4 of 6"):
+            fleet.fail_random(5)
+        fleet.restart_all()
+
+    def test_fail_negative_rejected(self, fleet):
+        fleet.restart_all()
+        with pytest.raises(ValueError, match="negative"):
+            fleet.fail_random(-1)
+
 
 class TestMetering:
     def test_total_counts_and_reset(self, fleet):

@@ -43,3 +43,25 @@ class TestOpMeter:
             count("op")
         count("op")
         assert meter.counts["op"] == 1
+
+    def test_threads_meter_independently(self):
+        """Concurrent sessions must never observe each other's operations
+        (the service layer runs one worker thread per HSM)."""
+        import threading
+
+        meters = [OpMeter() for _ in range(4)]
+        barrier = threading.Barrier(4)
+
+        def session(i):
+            with meters[i].attached():
+                barrier.wait()  # everyone attached before anyone counts
+                for _ in range(50):
+                    count(f"op{i}")
+
+        threads = [threading.Thread(target=session, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i, meter in enumerate(meters):
+            assert meter.snapshot() == {f"op{i}": 50}

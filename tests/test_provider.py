@@ -58,6 +58,46 @@ class TestAttemptNumbering:
         with pytest.raises(KeyError):
             provider.log_recovery_attempt("alice", 0, b"h1")
 
+    def test_counter_agrees_with_reference_scan(self, provider):
+        """The O(1) counters must match the full-log rescan at every step."""
+        for step in range(4):
+            for user in ("alice", "bob"):
+                assert provider.next_attempt_number(user) == provider.scan_attempt_number(
+                    user
+                )
+            provider.log_recovery_attempt("alice", step, b"h%d" % step)
+            if step % 2:  # counters must survive pending -> committed moves
+                provider.log.prepare_update(num_chunks=1)
+        assert provider.next_attempt_number("alice") == 4
+        assert provider.scan_attempt_number("alice") == 4
+
+    def test_reserve_is_atomic_across_threads(self, provider):
+        import threading
+
+        claimed = []
+
+        def worker():
+            for _ in range(25):
+                claimed.append(provider.reserve_attempt_number("alice"))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == list(range(100))
+
+    def test_garbage_collection_resets_counters(self, provider):
+        provider.log_recovery_attempt("alice", 0, b"h0")
+        provider.reserve_attempt_number("alice")
+        assert provider.next_attempt_number("alice") == 2
+        provider.log.garbage_collect(hsms=[])
+        assert provider.next_attempt_number("alice") == 0
+        assert provider.scan_attempt_number("alice") == 0
+        # and the counters start counting again in the new generation
+        provider.log_recovery_attempt("alice", 0, b"h0")
+        assert provider.next_attempt_number("alice") == 1
+
 
 class TestReplyEscrow:
     def test_store_and_fetch(self, provider):

@@ -5,7 +5,12 @@ import random
 
 import pytest
 
-from repro.sim.queueing import MM1Queue, fig13_series, min_fleet_for_latency
+from repro.sim.queueing import (
+    EpochBatchModel,
+    MM1Queue,
+    fig13_series,
+    min_fleet_for_latency,
+)
 from repro.sim.workload import simulate_fleet_p99, simulate_queue_p99
 
 
@@ -86,6 +91,39 @@ class TestFig13Series:
         infinite = dict(series[3][1])
         for load in strict:
             assert strict[load] >= loose[load] >= infinite[load]
+
+
+class TestEpochBatchModel:
+    def test_paper_scale_amortization(self):
+        # 3 sessions/s against the paper's 10-minute epoch: 1800 sessions
+        # share each run_update.
+        model = EpochBatchModel(
+            arrival_rate=3.0, epoch_interval=600.0, epoch_seconds=20.0
+        )
+        assert model.sessions_per_epoch == pytest.approx(1800.0)
+        assert model.speedup_vs_per_request() == pytest.approx(1800.0)
+        assert model.epoch_cost_per_session() == pytest.approx(20.0 / 1800.0)
+        assert model.mean_wait() == pytest.approx(300.0)
+        assert model.wait_percentile(0.99) == pytest.approx(594.0)
+
+    def test_empty_epochs_never_beat_per_request(self):
+        # Below one session per epoch the amortization floor is 1x: the
+        # lone session still pays the whole epoch.
+        model = EpochBatchModel(
+            arrival_rate=0.001, epoch_interval=10.0, epoch_seconds=5.0
+        )
+        assert model.speedup_vs_per_request() == 1.0
+        assert model.epoch_cost_per_session() == pytest.approx(5.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EpochBatchModel(arrival_rate=-1.0, epoch_interval=1.0, epoch_seconds=1.0)
+        with pytest.raises(ValueError):
+            EpochBatchModel(arrival_rate=1.0, epoch_interval=0.0, epoch_seconds=1.0)
+        with pytest.raises(ValueError):
+            EpochBatchModel(
+                arrival_rate=1.0, epoch_interval=1.0, epoch_seconds=1.0
+            ).wait_percentile(1.5)
 
 
 class TestEmpiricalValidation:

@@ -1,0 +1,401 @@
+"""The serving layer: epoch batcher, channels, worker queues, service."""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.params import SystemParams
+from repro.core.protocol import Deployment
+from repro.core.provider import ProviderError, ServiceProvider
+from repro.crypto.bfe import PuncturedKeyError
+from repro.hsm.device import HsmRefusedError, HsmUnavailableError
+from repro.log.authdict import verify_includes
+from repro.log.distributed import LogConfig
+from repro.service.batcher import EpochBatcher, EpochTicket, ServiceTimeout
+from repro.service.channel import WireChannel, HsmWireEndpoint, wire_channels
+from repro.service.workers import HsmWorkerPool
+
+
+# ---------------------------------------------------------------------------
+# EpochBatcher (standalone provider; epochs commit via prepare_update)
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def batcher_provider():
+    provider = ServiceProvider(LogConfig(audit_count=2))
+    provider.install_update_runner(lambda: provider.log.prepare_update(num_chunks=1))
+    return provider
+
+
+class TestEpochBatcher:
+    def test_one_tick_serves_all_waiters(self, batcher_provider):
+        batcher = EpochBatcher(batcher_provider)
+        tickets = [
+            batcher.submit(f"user{i}", 0, b"commit%d" % i) for i in range(3)
+        ]
+        assert batcher.pending_sessions() == 3
+        assert batcher.tick() == 3
+        assert batcher.epochs_run == 1
+        assert list(batcher.epoch_sessions) == [3]
+        for i, ticket in enumerate(tickets):
+            identifier, proof = ticket.wait(timeout=1)
+            assert verify_includes(
+                batcher_provider.log.digest, identifier, b"commit%d" % i, proof
+            )
+
+    def test_tick_without_work_is_a_noop(self, batcher_provider):
+        batcher = EpochBatcher(batcher_provider)
+        assert batcher.tick() == 0
+        assert batcher.epochs_run == 0
+
+    def test_duplicate_insertion_fails_that_ticket_only(self, batcher_provider):
+        batcher = EpochBatcher(batcher_provider)
+        good = batcher.submit("dup", 0, b"h0")
+        bad = batcher.submit("dup", 0, b"h1")
+        batcher.tick()
+        good.wait(timeout=1)
+        with pytest.raises(ProviderError):
+            bad.wait(timeout=1)
+
+    def test_wait_without_tick_times_out(self, batcher_provider):
+        batcher = EpochBatcher(batcher_provider)
+        ticket = batcher.submit("alone", 0, b"h")
+        with pytest.raises(ServiceTimeout):
+            ticket.wait(timeout=0.05)
+
+    def test_leases_defer_the_next_epoch(self, batcher_provider):
+        batcher = EpochBatcher(batcher_provider, lease_timeout=10.0)
+        batcher.submit("leaseholder", 0, b"h")
+        batcher.tick()
+        assert batcher.outstanding_leases() == 1
+
+        batcher.submit("next", 0, b"h2")
+        second_tick_done = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (batcher.tick(), second_tick_done.set())
+        )
+        thread.start()
+        # The share phase of "leaseholder" is still open: no second epoch.
+        assert not second_tick_done.wait(0.15)
+        assert batcher.epochs_run == 1
+        batcher.release("leaseholder", 0)
+        assert second_tick_done.wait(2)
+        thread.join()
+        assert batcher.epochs_run == 2
+        assert batcher.lease_timeouts == 0
+
+    def test_lease_timeout_keeps_the_log_live(self, batcher_provider):
+        batcher = EpochBatcher(batcher_provider, lease_timeout=0.05)
+        batcher.submit("crashed-client", 0, b"h")
+        batcher.tick()  # lease taken, never released
+        batcher.submit("healthy", 0, b"h2")
+        assert batcher.tick() == 1  # proceeds despite the abandoned lease
+        assert batcher.lease_timeouts == 1
+        assert batcher.outstanding_leases() == 1  # the new session's lease
+
+    def test_ticket_is_single_use_state(self):
+        ticket = EpochTicket()
+        ticket.resolve((b"id", "proof"))
+        assert ticket.wait(timeout=0) == (b"id", "proof")
+
+
+# ---------------------------------------------------------------------------
+# Worker pool: per-device FIFO execution
+# ---------------------------------------------------------------------------
+class TestHsmWorkerPool:
+    def test_requires_start(self):
+        pool = HsmWorkerPool(2)
+        with pytest.raises(RuntimeError):
+            pool.call(0, lambda: 1)
+
+    def test_call_returns_result_and_counts(self):
+        pool = HsmWorkerPool(2)
+        pool.start()
+        try:
+            assert pool.call(1, lambda: 41 + 1) == 42
+            assert pool.jobs_processed == [0, 1]
+        finally:
+            pool.stop()
+
+    def test_exceptions_propagate_to_caller(self):
+        pool = HsmWorkerPool(1)
+        pool.start()
+        try:
+            with pytest.raises(ValueError, match="boom"):
+                pool.call(0, lambda: (_ for _ in ()).throw(ValueError("boom")))
+        finally:
+            pool.stop()
+
+    def test_stop_before_start_does_not_poison_queues(self):
+        pool = HsmWorkerPool(2)
+        pool.stop()  # must be a no-op, not a sentinel enqueue
+        pool.start()
+        try:
+            assert pool.call(0, lambda: "alive") == "alive"
+        finally:
+            pool.stop()
+        pool.stop()  # double-stop is also safe
+        pool.start()
+        try:
+            assert pool.call(1, lambda: "restarted") == "restarted"
+        finally:
+            pool.stop()
+
+    def test_device_never_runs_two_jobs_at_once(self):
+        pool = HsmWorkerPool(2)
+        pool.start()
+        busy = [False] * 2
+        overlaps = []
+
+        def job(device):
+            if busy[device]:
+                overlaps.append(device)
+            busy[device] = True
+            time.sleep(0.002)
+            busy[device] = False
+            return device
+
+        try:
+            threads = [
+                threading.Thread(target=pool.call, args=(i % 2, lambda i=i: job(i % 2)))
+                for i in range(16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            pool.stop()
+        assert overlaps == []
+        assert sum(pool.jobs_processed) == 16
+
+
+# ---------------------------------------------------------------------------
+# Channels: wire transport and error mapping
+# ---------------------------------------------------------------------------
+class TestWireChannel:
+    def test_recovery_over_wire_channel(self, shared_deployment, unique_user):
+        client = shared_deployment.new_client(unique_user, transport="wire")
+        client.backup(b"wire payload", pin="1234")
+        assert client.recover("1234") == b"wire payload"
+
+    def test_unavailable_crosses_the_wire(self, fresh_deployment, unique_user):
+        client = fresh_deployment.new_client(unique_user)
+        client.backup(b"x", pin="1234")
+        session = client.begin_recovery("1234", backup_recovery_key=False)
+        target = session.cluster[0]
+        fresh_deployment.fleet[target].fail_stop()
+        channel = wire_channels(fresh_deployment.fleet)(target)
+        with pytest.raises(HsmUnavailableError):
+            channel.decrypt_share(client._share_request(session, 0))
+        fresh_deployment.fleet[target].restart()
+
+    def test_puncture_crosses_the_wire(self, shared_deployment, unique_user):
+        client = shared_deployment.new_client(unique_user)
+        client.backup(b"x", pin="1234")
+        session = client.begin_recovery("1234", backup_recovery_key=False)
+        channel = WireChannel(
+            HsmWireEndpoint(shared_deployment.fleet[session.cluster[0]])
+        )
+        request = client._share_request(session, 0)
+        channel.decrypt_share(request)  # first decryption punctures
+        with pytest.raises(PuncturedKeyError):
+            channel.decrypt_share(request)
+
+    def test_stale_proof_refresh_survives_an_interleaved_epoch(
+        self, fresh_deployment, unique_user
+    ):
+        """An epoch committing between proof receipt and the share phase
+        must not kill the session: HSMs answer REPLY_STALE_PROOF, the
+        client refreshes its proof and retries."""
+        from repro.hsm.device import HsmStaleProofError
+
+        client = fresh_deployment.new_client(unique_user)
+        client.backup(b"stale proof survivor", pin="1234")
+        session = client.begin_recovery("1234", backup_recovery_key=False)
+        # Another epoch commits: every HSM's digest moves past the proof.
+        fresh_deployment.provider.log.insert(b"interloper", b"v")
+        fresh_deployment.run_log_update()
+        stale_proof = session.inclusion_proof
+        channel = wire_channels(fresh_deployment.fleet)(session.cluster[0])
+        with pytest.raises(HsmStaleProofError):  # distinct status on the wire
+            channel.decrypt_share(client._share_request(session, 0))
+        obtained = client.request_shares(session, "1234")
+        assert obtained >= fresh_deployment.params.threshold
+        assert session.inclusion_proof != stale_proof  # the client refreshed
+        assert client.finish_recovery(session) == b"stale proof survivor"
+
+    def test_refusal_crosses_the_wire(self, shared_deployment, unique_user):
+        client = shared_deployment.new_client(unique_user)
+        client.backup(b"x", pin="1234")
+        session = client.begin_recovery("1234", backup_recovery_key=False)
+        # An HSM outside the committed cluster must refuse.
+        outside = next(
+            i for i in range(len(shared_deployment.fleet)) if i not in session.cluster
+        )
+        channel = wire_channels(shared_deployment.fleet)(outside)
+        with pytest.raises(HsmRefusedError):
+            channel.decrypt_share(client._share_request(session, 0))
+
+
+# ---------------------------------------------------------------------------
+# RecoveryService end-to-end (small; the heavy run is the slow stress test)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def service_deployment():
+    params = SystemParams.for_testing(num_hsms=8, cluster_size=3, max_punctures=48)
+    return Deployment.create(params, rng=random.Random(29))
+
+
+class TestRecoveryService:
+    def test_concurrent_sessions_share_an_epoch(self, service_deployment):
+        service = service_deployment.recovery_service(
+            tick_interval=0.01, lease_timeout=5.0
+        )
+        clients = [service.new_client(f"svc-share-{i}") for i in range(4)]
+        errors = []
+
+        def run(i):
+            try:
+                clients[i].backup(b"m%d" % i, pin="1111")
+                assert clients[i].recover("1111") == b"m%d" % i
+            except Exception as exc:  # noqa: BLE001
+                errors.append((i, repr(exc)))
+
+        with service:
+            threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == []
+        stats = service.stats()
+        assert stats["sessions_served"] == 4
+        # Batching: strictly fewer epochs than sessions, one epoch per tick.
+        assert stats["epochs_run"] < 4
+        assert stats["epochs_run"] == len(stats["epoch_sessions"])
+        assert sum(stats["epoch_sessions"]) == 4
+
+    def test_manual_ticks_are_deterministic(self, service_deployment):
+        service = service_deployment.recovery_service(lease_timeout=5.0)
+        service.pool.start()  # workers but no ticker: the test owns epochs
+        client = service.new_client("svc-manual")
+        try:
+            client.backup(b"manual", pin="2222")
+            done = []
+            thread = threading.Thread(
+                target=lambda: done.append(client.recover("2222"))
+            )
+            thread.start()
+            # One session pending -> exactly one epoch serves it.
+            while service.batcher.pending_sessions() == 0:
+                time.sleep(0.005)
+            assert service.tick() == 1
+            thread.join(timeout=30)
+            assert done == [b"manual"]
+        finally:
+            service.pool.stop()
+
+    def test_per_request_mode_matches_seed_semantics(self, service_deployment):
+        service = service_deployment.recovery_service(
+            epoch_mode="per-request", tick_interval=0.01
+        )
+        epochs_before = service_deployment.provider.log.epoch
+        clients = [service.new_client(f"svc-perreq-{i}") for i in range(2)]
+        errors = []
+
+        def run(i):
+            try:
+                clients[i].backup(b"p%d" % i, pin="3333")
+                assert clients[i].recover("3333") == b"p%d" % i
+            except Exception as exc:  # noqa: BLE001
+                errors.append((i, repr(exc)))
+
+        with service:
+            threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == []
+        # One full epoch per recovery, exactly like the seed's log_and_prove.
+        assert service_deployment.provider.log.epoch - epochs_before == 2
+
+    def test_failed_epoch_fails_batch_but_not_the_service(self):
+        """Losing quorum mid-service must fail that batch's sessions cleanly
+        and leave the log recoverable (the epoch rolls back), not brick
+        every future epoch."""
+        params = SystemParams.for_testing(num_hsms=6, cluster_size=3, max_punctures=16)
+        deployment = Deployment.create(params, rng=random.Random(31))
+        with deployment.recovery_service(
+            tick_interval=0.01, lease_timeout=2.0
+        ) as service:
+            victim = service.new_client("svc-noquorum")
+            victim.backup(b"doomed", pin="1111")
+            deployment.fail_random_hsms(3, random.Random(1))  # 3/6 < 0.75 quorum
+            with pytest.raises(ProviderError):
+                victim.recover("1111")
+            deployment.restart_all_hsms()
+            survivor = service.new_client("svc-afterquorum")
+            survivor.backup(b"alive", pin="2222")
+            assert survivor.recover("2222") == b"alive"
+        stats = service.stats()
+        assert stats["epoch_failures"] >= 1
+        # provider and fleet digests agree again
+        assert deployment.fleet[0].log_digest == deployment.provider.log.digest
+
+    def test_abandoned_session_slot_is_stolen(self, service_deployment):
+        """Per-request mode: a client that dies between begin_recovery and
+        its share phase must not wedge the service — the next session
+        steals the slot after session_timeout."""
+        service = service_deployment.recovery_service(
+            epoch_mode="per-request", session_timeout=0.1
+        )
+        service.acquire_session_slot("ghost", 0)  # never released
+        service.acquire_session_slot("svc-steal", 0)  # blocks 0.1s, then steals
+        assert service.slot_steals == 1
+        assert service._slot_owner == ("svc-steal", 0)
+        service.release_session_slot("ghost", 0)  # stale release: ignored
+        assert service._slot_owner == ("svc-steal", 0)
+        service.release_session_slot("svc-steal", 0)
+        assert service._slot_owner is None
+
+    def test_facade_reserves_unique_attempts(self, service_deployment):
+        service = service_deployment.recovery_service()
+        facade = service._facade
+        seen = []
+
+        def reserve():
+            for _ in range(20):
+                seen.append(facade.next_attempt_number("svc-reserve"))
+
+        threads = [threading.Thread(target=reserve) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(seen) == list(range(80))
+
+    def test_facade_backups_cross_the_wire(self, service_deployment):
+        service = service_deployment.recovery_service()
+        facade = service._facade
+        client = service.new_client("svc-wireback")
+        captured = []
+        original_upload = facade.upload_backup
+
+        def spy(username, ciphertext):
+            captured.append(ciphertext)  # the client's live object
+            return original_upload(username, ciphertext)
+
+        facade.upload_backup = spy
+        try:
+            client.backup(b"round trip", pin="4444")
+        finally:
+            del facade.upload_backup
+        # The provider never stored the client's live object: the facade
+        # reconstructed a value-equal ciphertext from wire bytes.
+        assert len(captured) == 1
+        stored = service_deployment.provider.fetch_backup("svc-wireback")
+        assert stored == captured[0]
+        assert stored is not captured[0]

@@ -1,0 +1,206 @@
+"""Property-based wire-format tests: every message type round-trips, and
+malformed bytes are rejected — never mis-decoded, never a foreign crash.
+
+The service layer's Channel transport moves *all* client↔HSM traffic
+through ``core/wire.py``, so these properties are load-bearing: a decoder
+that crashes on junk is a DoS vector, and a non-canonical encoding would
+let the untrusted provider present two byte strings for one message.
+
+Canonicality property used throughout: if ``decode(b)`` succeeds then
+``encode(decode(b)) == b`` — corrupt bytes either raise
+:class:`WireFormatError` or decode to the object that re-encodes to
+exactly those bytes (i.e. the corruption changed the message, never the
+parse).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import wire
+from repro.core.lhe import LheCiphertext
+from repro.crypto.bfe import BfeCiphertext
+from repro.crypto.commit import commit_recovery
+from repro.crypto.ec import P256
+from repro.crypto.elgamal import ElGamalCiphertext
+from repro.hsm.device import DecryptShareRequest
+from repro.log.authdict import InclusionProof, PathStep
+
+# Valid curve points are expensive to make; sample from a fixed pool.
+_POINTS = tuple(P256.keygen(random.Random(seed)).public for seed in range(8))
+
+points = st.sampled_from(_POINTS)
+blobs = st.binary(max_size=48)
+digests = st.binary(min_size=32, max_size=32)
+u32s = st.integers(min_value=0, max_value=(1 << 32) - 1)
+usernames = st.text(
+    alphabet=st.characters(blacklist_characters="|", blacklist_categories=("Cs",)),
+    max_size=16,
+)
+
+bfe_ciphertexts = st.builds(
+    BfeCiphertext,
+    tag=blobs,
+    ephemeral=points,
+    wrapped_keys=st.lists(blobs, max_size=5).map(tuple),
+    payload=blobs,
+)
+
+elgamal_ciphertexts = st.builds(ElGamalCiphertext, ephemeral=points, body=blobs)
+
+recovery_ciphertexts = st.builds(
+    LheCiphertext,
+    salt=blobs,
+    username=usernames,
+    share_ciphertexts=st.lists(
+        st.one_of(bfe_ciphertexts, elgamal_ciphertexts), max_size=4
+    ).map(tuple),
+    payload=blobs,
+    threshold=u32s,
+    num_hsms=u32s,
+    config_epoch=u32s,
+)
+
+inclusion_proofs = st.builds(
+    InclusionProof,
+    steps=st.lists(
+        st.builds(PathStep, idh=digests, value=blobs, other=digests), max_size=6
+    ).map(tuple),
+    left=digests,
+    right=digests,
+)
+
+
+@st.composite
+def decrypt_requests(draw):
+    username = draw(usernames)
+    cluster = tuple(draw(st.lists(st.integers(0, 1000), min_size=1, max_size=4)))
+    _, opening = commit_recovery(username, cluster, draw(digests))
+    return DecryptShareRequest(
+        username=username,
+        log_identifier=draw(blobs),
+        commitment=opening.commitment(),
+        opening=opening,
+        inclusion_proof=draw(inclusion_proofs),
+        share_ciphertext=draw(bfe_ciphertexts),
+        context=draw(blobs),
+        response_key=draw(points),
+    )
+
+
+def _assert_rejects_mangling(encoded: bytes, decode) -> None:
+    """Truncations always raise; mutations never mis-decode (see module
+    docstring for the canonicality property)."""
+    cuts = range(len(encoded)) if len(encoded) < 40 else range(0, len(encoded), 7)
+    for cut in cuts:
+        with pytest.raises(wire.WireFormatError):
+            decode(encoded[:cut])
+    with pytest.raises(wire.WireFormatError):
+        decode(encoded + b"\x00")
+
+
+_SETTINGS = dict(max_examples=30, deadline=None)
+
+
+class TestBfeCiphertextWire:
+    @given(ct=bfe_ciphertexts)
+    @settings(**_SETTINGS)
+    def test_roundtrip_and_mangling(self, ct):
+        encoded = wire.encode_bfe_ciphertext(ct)
+        assert wire.decode_bfe_ciphertext(encoded) == ct
+        _assert_rejects_mangling(encoded, wire.decode_bfe_ciphertext)
+
+    @given(junk=st.binary(max_size=64))
+    @settings(**_SETTINGS)
+    def test_junk_is_canonical_or_rejected(self, junk):
+        try:
+            decoded = wire.decode_bfe_ciphertext(junk)
+        except wire.WireFormatError:
+            return
+        assert wire.encode_bfe_ciphertext(decoded) == junk
+
+
+class TestRecoveryCiphertextWire:
+    @given(ct=recovery_ciphertexts)
+    @settings(**_SETTINGS)
+    def test_roundtrip_and_mangling(self, ct):
+        encoded = wire.encode_recovery_ciphertext(ct)
+        assert wire.decode_recovery_ciphertext(encoded) == ct
+        _assert_rejects_mangling(encoded, wire.decode_recovery_ciphertext)
+
+    @given(ct=recovery_ciphertexts, flip=st.integers(min_value=0, max_value=1 << 30))
+    @settings(**_SETTINGS)
+    def test_corruption_never_misdecodes(self, ct, flip):
+        encoded = bytearray(wire.encode_recovery_ciphertext(ct))
+        encoded[flip % len(encoded)] ^= 1 + (flip % 255)
+        corrupted = bytes(encoded)
+        try:
+            decoded = wire.decode_recovery_ciphertext(corrupted)
+        except wire.WireFormatError:
+            return
+        assert wire.encode_recovery_ciphertext(decoded) == corrupted
+
+
+class TestInclusionProofWire:
+    @given(proof=inclusion_proofs)
+    @settings(**_SETTINGS)
+    def test_roundtrip_and_mangling(self, proof):
+        encoded = wire.encode_inclusion_proof(proof)
+        assert wire.decode_inclusion_proof(encoded) == proof
+        _assert_rejects_mangling(encoded, wire.decode_inclusion_proof)
+
+
+class TestDecryptRequestWire:
+    @given(request=decrypt_requests())
+    @settings(**_SETTINGS)
+    def test_roundtrip_and_mangling(self, request):
+        encoded = wire.encode_decrypt_request(request)
+        assert wire.decode_decrypt_request(encoded) == request
+        _assert_rejects_mangling(encoded, wire.decode_decrypt_request)
+
+
+class TestDecryptReplyWire:
+    @given(reply=elgamal_ciphertexts)
+    @settings(**_SETTINGS)
+    def test_ok_roundtrip_and_mangling(self, reply):
+        encoded = wire.encode_decrypt_reply(reply)
+        status, decoded = wire.decode_decrypt_reply(encoded)
+        assert status == wire.REPLY_OK
+        assert decoded == reply
+        _assert_rejects_mangling(encoded, wire.decode_decrypt_reply)
+
+    @given(
+        status=st.sampled_from(
+            (
+                wire.REPLY_REFUSED,
+                wire.REPLY_PUNCTURED,
+                wire.REPLY_UNAVAILABLE,
+                wire.REPLY_STALE_PROOF,
+            )
+        ),
+        message=st.text(max_size=48),
+    )
+    @settings(**_SETTINGS)
+    def test_error_roundtrip_and_mangling(self, status, message):
+        encoded = wire.encode_decrypt_error(status, message)
+        assert wire.decode_decrypt_reply(encoded) == (status, message)
+        _assert_rejects_mangling(encoded, wire.decode_decrypt_reply)
+
+    def test_ok_is_not_an_error_status(self):
+        with pytest.raises(wire.WireFormatError):
+            wire.encode_decrypt_error(wire.REPLY_OK, "nope")
+
+    def test_unknown_status_rejected(self):
+        encoded = bytearray(wire.encode_decrypt_error(wire.REPLY_REFUSED, "x"))
+        encoded[1] = 9
+        with pytest.raises(wire.WireFormatError):
+            wire.decode_decrypt_reply(bytes(encoded))
+
+    @given(junk=st.binary(max_size=64))
+    @settings(**_SETTINGS)
+    def test_junk_never_crashes(self, junk):
+        try:
+            wire.decode_decrypt_reply(junk)
+        except wire.WireFormatError:
+            pass
