@@ -67,7 +67,21 @@ def test_client_bandwidth(benchmark):
         "traffic ~MBs — both in the paper's regime; the Merkle-commitment "
         "indirection is what keeps client bandwidth feasible"
     )
-    emit("client_bandwidth", "§9.2 client keying-material bandwidth", lines)
+    emit(
+        "client_bandwidth",
+        "§9.2 client keying-material bandwidth",
+        lines,
+        data={
+            "metrics": {
+                "initial_mpk_commitments_bytes": initial_commitments,
+                "initial_mpk_with_slots_bytes": initial_with_slots,
+                "daily_rotated_key_bytes": daily,
+                "per_cluster_storage_bytes": cluster_storage,
+                "raw_slot_array_bytes": raw_array,
+                "per_hsm_on_demand_bytes": on_demand,
+            }
+        },
+    )
 
     assert on_demand < 16 * 1024  # KBs per HSM, not MBs
     assert raw_array > 1000 * on_demand  # the dial the design turns
@@ -103,6 +117,15 @@ def test_datacenter_simulation_cross_check(benchmark):
             f"rotating fraction: {result.rotating_fraction:.0%} "
             f"(capacity model duty: {model.rotation_duty_fraction:.0%})",
         ],
+        data={
+            "metrics": {
+                "p50_latency_s": result.percentile(0.5),
+                "p99_latency_s": result.percentile(0.99),
+                "busy_fraction": result.busy_fraction,
+                "rotating_fraction": result.rotating_fraction,
+                "model_rotation_duty_fraction": model.rotation_duty_fraction,
+            }
+        },
     )
     assert result.percentile(0.99) < 60.0  # stable under the analytic cap
     assert result.rotations > 0

@@ -97,7 +97,20 @@ def test_fig10_save_breakdown(benchmark, small_deployment):
         f"baseline save:   {base:.4f} s                        (paper: 0.003 s)",
         f"ratio: {total / base:.0f}x   (paper: ~120x)",
     ]
-    emit("fig10_save", "Figure 10 (left): time to save", lines)
+    emit(
+        "fig10_save",
+        "Figure 10 (left): time to save",
+        lines,
+        data={
+            "metrics": {
+                "save_public_key_s": ours["public_key"],
+                "save_lhe_other_s": ours["lhe_other"],
+                "save_total_s": total,
+                "baseline_save_s": base,
+                "save_ratio": total / base,
+            }
+        },
+    )
     assert 0.1 < total < 1.5
     assert base < 0.02
     assert total / base > 20
@@ -123,7 +136,20 @@ def test_fig10_recovery_breakdown(benchmark, small_deployment):
         ("baseline", f"{base:.2f} s", "0.17 s"),
     ]
     lines = table(("component", "modeled", "paper"), rows, (18, 12, 10))
-    emit("fig10_recovery", "Figure 10 (right): time to recover", lines)
+    emit(
+        "fig10_recovery",
+        "Figure 10 (right): time to recover",
+        lines,
+        data={
+            "metrics": {
+                "recovery_log_s": ours["log"],
+                "recovery_location_hiding_s": ours["location_hiding"],
+                "recovery_puncturable_s": ours["puncturable"],
+                "recovery_total_s": ours["total"],
+                "baseline_recovery_s": base,
+            }
+        },
+    )
 
     # Shape: puncturable encryption dominates; SafetyPin is single-digit
     # seconds and several-fold slower than the baseline.  (Our modeled
@@ -152,6 +178,16 @@ def test_fig10_ciphertext_sizes(benchmark, small_deployment):
         f"SafetyPin at n=40 (extrapolated): {paper_scale / 1024:.1f} KB (paper: 16.5 KB)",
         f"baseline: {baseline_ct.size_bytes()} B (paper: ~130 B)",
     ]
-    emit("fig10_sizes", "Recovery-ciphertext sizes", lines)
+    emit(
+        "fig10_sizes",
+        "Recovery-ciphertext sizes",
+        lines,
+        data={
+            "metrics": {
+                "safetypin_ct_bytes_at_n40": paper_scale,
+                "baseline_ct_bytes": baseline_ct.size_bytes(),
+            }
+        },
+    )
     assert 4 < paper_scale / 1024 < 40
     assert baseline_ct.size_bytes() < 250

@@ -52,7 +52,22 @@ def test_fig11_cluster_size_sweep(benchmark):
     lines.append("")
     lines.append("paper: 1.01 s at n=40 growing slowly; annotations 6.81..5.49 bits")
     lines.append("(the paper's printed bit-loss values match N=1,500; see EXPERIMENTS.md)")
-    emit("fig11_cluster_size", "Figure 11: recovery time vs cluster size", lines)
+    emit(
+        "fig11_cluster_size",
+        "Figure 11: recovery time vs cluster size",
+        lines,
+        data={
+            "results": [
+                {
+                    "cluster_size": n,
+                    "recovery_s": recovery_seconds(n),
+                    "loss_bits_n3100": security_loss_bits(3100, n),
+                    "loss_bits_n1500": security_loss_bits(1500, n),
+                }
+                for n in sizes
+            ]
+        },
+    )
 
     times = [recovery_seconds(n) for n in sizes]
     assert times == sorted(times)  # grows with n ...
@@ -95,5 +110,19 @@ def test_fig11_ablation_threshold_whole_fleet(benchmark):
     lines = table(("N", "SafetyPin (n=40)", "threshold-6% design"), rows, (8, 18, 22))
     lines.append("")
     lines.append("SafetyPin is flat in N; the rejected design degrades linearly")
-    emit("fig11_ablation", "Ablation: hidden clusters vs fleet-wide threshold", lines)
+    emit(
+        "fig11_ablation",
+        "Ablation: hidden clusters vs fleet-wide threshold",
+        lines,
+        data={
+            "results": [
+                {
+                    "fleet_size": n_fleet,
+                    "safetypin_s": recovery_seconds(40),
+                    "rejected_threshold_s": rejected_design_seconds(n_fleet),
+                }
+                for n_fleet in (500, 1000, 3100, 10_000)
+            ]
+        },
+    )
     assert rejected_design_seconds(10_000) > 10 * recovery_seconds(40)

@@ -33,7 +33,22 @@ def test_fig12_throughput_vs_cost(benchmark):
     )
     lines.append("")
     lines.append("paper: SoloKey steepest line; 1B rec/yr within ~$60.7K of SoloKeys")
-    emit("fig12_throughput_cost", "Figure 12: recoveries/year vs HSM outlay", lines)
+    emit(
+        "fig12_throughput_cost",
+        "Figure 12: recoveries/year vs HSM outlay",
+        lines,
+        data={
+            "results": [
+                {
+                    "budget_usd": budget,
+                    "solokey_recoveries_yr": series[SOLOKEY.name][i][1],
+                    "yubihsm2_recoveries_yr": series[YUBIHSM2.name][i][1],
+                    "safenet_recoveries_yr": series[SAFENET_A700.name][i][1],
+                }
+                for i, budget in enumerate(BUDGETS)
+            ]
+        },
+    )
 
     # Paper's ordering: per dollar, SoloKey > YubiHSM2; SoloKey > SafeNet.
     at_5m = {name: dict(points)[5e6] for name, points in series.items()}
@@ -57,6 +72,9 @@ def test_fig12_billion_recovery_budget(benchmark):
         [
             f"{needed:,.0f} SoloKeys = ${budget / 1e3:,.1f}K   (paper: 3,037 = $60.7K)"
         ],
+        data={
+            "metrics": {"solokeys_needed": needed, "budget_usd": budget}
+        },
     )
     assert 1000 < needed < 10_000
     assert 20e3 < budget < 200e3

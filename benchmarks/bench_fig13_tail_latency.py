@@ -49,7 +49,23 @@ def test_fig13_fleet_sizing(benchmark):
     )
     lines.append("")
     lines.append("paper: ~3-4K HSMs at 1B/yr, tighter constraints slightly above")
-    emit("fig13_tail_latency", "Figure 13: fleet size vs request rate", lines)
+    emit(
+        "fig13_tail_latency",
+        "Figure 13: fleet size vs request rate",
+        lines,
+        data={
+            "results": [
+                {
+                    "requests_per_year": rate,
+                    "hsms_p99_30s": by_constraint[30.0][rate],
+                    "hsms_p99_60s": by_constraint[60.0][rate],
+                    "hsms_p99_300s": by_constraint[300.0][rate],
+                    "hsms_any_finite": by_constraint[None][rate],
+                }
+                for rate in REQUEST_RATES
+            ]
+        },
+    )
 
     # Shape: every curve monotone in load; stricter constraint >= looser.
     for constraint, points in series:
@@ -79,5 +95,8 @@ def test_fig13_model_vs_simulation(benchmark):
         "fig13_validation",
         "M/M/1 closed form vs discrete-event simulation (p99)",
         [f"analytic: {analytic:.2f} s   simulated: {simulated:.2f} s"],
+        data={
+            "metrics": {"analytic_p99_s": analytic, "simulated_p99_s": simulated}
+        },
     )
     assert abs(simulated - analytic) / analytic < 0.35

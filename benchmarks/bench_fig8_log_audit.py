@@ -86,7 +86,17 @@ def test_fig8_log_audit_time(benchmark):
         f"shape check: t(100)/t(10K) = {times[100] / times[10_000]:.1f}x "
         "(paper: ~2.5x)"
     )
-    emit("fig8_log_audit", "Figure 8: log-audit time vs data-center size", lines)
+    emit(
+        "fig8_log_audit",
+        "Figure 8: log-audit time vs data-center size",
+        lines,
+        data={
+            "results": [
+                {"num_hsms": n, "audit_seconds": times[n]} for n in sizes
+            ],
+            "metrics": {"shape_ratio_100_vs_10k": times[100] / times[10_000]},
+        },
+    )
 
     # The paper's qualitative claims must hold:
     assert all(times[a] >= times[b] for a, b in zip(sizes, sizes[1:]))
@@ -109,5 +119,12 @@ def test_fig8_ablation_audit_everything(benchmark):
             f"randomized audit:  {sampled:8.1f} s per HSM per epoch at N=3,100",
             f"speedup: {full_check / sampled:.1f}x, growing linearly with N",
         ],
+        data={
+            "metrics": {
+                "verify_everything_s": full_check,
+                "randomized_audit_s": sampled,
+                "speedup": full_check / sampled,
+            }
+        },
     )
     assert full_check > 2 * sampled

@@ -56,6 +56,13 @@ def test_secure_deletion_ablation_modeled(benchmark):
             f"key-tree deletion:   {tree:8.3f} s",
             f"throughput gain:     {naive / tree:8,.0f}x   (paper: ~4,423x)",
         ],
+        data={
+            "metrics": {
+                "naive_reencrypt_s": naive,
+                "tree_delete_s": tree,
+                "throughput_gain": naive / tree,
+            }
+        },
     )
     assert 10 * 60 < naive < 120 * 60
     assert tree < 5.0
@@ -89,5 +96,12 @@ def test_secure_deletion_wallclock(benchmark):
             f"naive: {naive_seconds * 1000:8.1f} ms",
             f"tree:  {tree_seconds * 1000:8.1f} ms   ({naive_seconds / tree_seconds:.0f}x)",
         ],
+        data={
+            "metrics": {
+                "naive_delete_s": naive_seconds,
+                "tree_delete_s": tree_seconds,
+                "speedup": naive_seconds / tree_seconds,
+            }
+        },
     )
     assert tree_seconds < naive_seconds

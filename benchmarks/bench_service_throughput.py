@@ -146,6 +146,25 @@ def test_service_throughput():
         "service_throughput",
         "Service throughput: batched epochs vs per-request epochs",
         lines,
+        data={
+            "results": [
+                {
+                    "mode": mode,
+                    "threads": concurrency,
+                    "sessions": sessions,
+                    "seconds": float(seconds),
+                    "epochs": epochs,
+                    "sessions_per_sec": float(rate),
+                }
+                for mode, concurrency, sessions, seconds, epochs, rate in rows
+            ],
+            "metrics": {
+                "batched_sessions_per_sec": batched_best,
+                "per_request_sessions_per_sec": per_request_rate,
+                "batching_speedup": batched_best / per_request_rate,
+                "modeled_sessions_per_epoch": model.sessions_per_epoch,
+            },
+        },
     )
 
 

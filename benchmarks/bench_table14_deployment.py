@@ -62,7 +62,24 @@ def test_table14_deployment_costs(benchmark):
         f"storage footnote: 4 GB x 1e9 users/yr on S3-IA = ${storage / 1e6:,.0f}M "
         "(paper: $600M) — HSM cost is negligible beside it"
     )
-    emit("table14_deployment", "Table 14: deployment cost for 1B users/year", lines)
+    emit(
+        "table14_deployment",
+        "Table 14: deployment cost for 1B users/year",
+        lines,
+        data={
+            "results": [
+                {
+                    "device": plan.device.name,
+                    "quantity": plan.quantity,
+                    "f_secret": float(plan.f_secret),
+                    "tolerated_evil": plan.tolerated_evil,
+                    "hardware_cost_usd": plan.hardware_cost_usd,
+                }
+                for plan in plans
+            ],
+            "metrics": {"storage_cost_usd_per_year": storage},
+        },
+    )
 
     solo, yubi, safenet = plans[0], plans[1], plans[2]
     # Same-order quantities and the paper's orderings:

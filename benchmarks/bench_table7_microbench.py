@@ -68,7 +68,23 @@ def test_table7_microbenchmarks(benchmark):
     lines.append(f"I/O ablation: HID/CDC throughput ratio = {hid / cdc:.1f}x "
                  "(paper: ~32x from 71.43 -> 2,277.9 RTT/s)")
     lines.append("flash read: modeled 166,000 x 32 B/s (paper value, by construction)")
-    emit("table7_microbench", "Table 7: SoloKey microbenchmarks", lines)
+    emit(
+        "table7_microbench",
+        "Table 7: SoloKey microbenchmarks",
+        lines,
+        data={
+            "results": [
+                {
+                    "operation": op,
+                    "paper_per_sec": paper_rate,
+                    "model_per_sec": 1.0 / model.seconds_per_op(op),
+                    "host_per_sec": host.get(op),
+                }
+                for op, paper_rate in PAPER_RATES
+            ],
+            "metrics": {"hid_cdc_ratio": hid / cdc},
+        },
+    )
 
     assert abs(1.0 / model.seconds_per_op("ec_mult") - 7.69) < 1e-6  # calibration
 
@@ -88,5 +104,12 @@ def test_cdc_vs_hid_recovery_impact(benchmark):
             f"CDC: {cdc_s * 1000:8.1f} ms",
             f"HID: {hid_s * 1000:8.1f} ms   ({hid_s / cdc_s:.1f}x slower)",
         ],
+        data={
+            "metrics": {
+                "cdc_s": cdc_s,
+                "hid_s": hid_s,
+                "hid_over_cdc": hid_s / cdc_s,
+            }
+        },
     )
     assert hid_s > 10 * cdc_s

@@ -3,25 +3,34 @@
 Each benchmark regenerates one of the paper's tables or figures and emits
 its rows both to stdout (visible with ``pytest -s``) and to
 ``benchmarks/out/<name>.txt`` so the reproduction record survives pytest's
-output capturing.
+output capturing.  Every emit also writes a machine-readable
+``benchmarks/out/BENCH_<name>.json`` (see ``_harness`` for the contract);
+benchmarks pass structured numbers via ``data`` so the JSON carries raw
+values, not formatted strings.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+import _harness
+
+OUT_DIR = _harness.OUT_DIR
 
 
-def emit(name: str, title: str, lines: Iterable[str]) -> None:
+def emit(name: str, title: str, lines: Iterable[str], data: Optional[dict] = None) -> None:
     os.makedirs(OUT_DIR, exist_ok=True)
     rendered = [f"== {title} =="]
-    rendered.extend(lines)
+    body = list(lines)
+    rendered.extend(body)
     text = "\n".join(rendered) + "\n"
     print("\n" + text)
     with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text)
+    payload = dict(data or {})
+    payload.setdefault("lines", body)
+    _harness.write_json(name, title, payload)
 
 
 def table(headers: Sequence[str], rows: Iterable[Sequence], widths: Sequence[int]) -> list:

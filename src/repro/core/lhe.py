@@ -20,6 +20,13 @@ requires.
 
 Domain separation follows Appendix A.4: the PKE context binds the username,
 the salt, and a digest of the n cluster public keys.
+
+Hot-path note: step 4 performs one PKE encryption per cluster member, and
+every one of those rides the crypto fast path in ``repro.crypto.ec`` — the
+fixed-base comb for each ephemeral ``g^r`` and the per-point cached window
+for the (long-lived) HSM public keys — while reconstruction's Shamir
+recombination batches its Lagrange-denominator inversions into a single
+modular inversion (``repro.crypto.field.batch_inverse_mod``).
 """
 
 from __future__ import annotations

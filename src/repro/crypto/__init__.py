@@ -14,9 +14,12 @@ share-reconstruction identities).
 _EXPORTS = {
     "PrimeField": ("repro.crypto.field", "PrimeField"),
     "FieldElement": ("repro.crypto.field", "FieldElement"),
+    "batch_inverse_mod": ("repro.crypto.field", "batch_inverse_mod"),
     "P256": ("repro.crypto.ec", "P256"),
     "ECPoint": ("repro.crypto.ec", "ECPoint"),
     "ECKeyPair": ("repro.crypto.ec", "ECKeyPair"),
+    "multi_mult": ("repro.crypto.ec", "multi_mult"),
+    "naive_mult": ("repro.crypto.ec", "naive_mult"),
     "HashedElGamal": ("repro.crypto.elgamal", "HashedElGamal"),
     "ElGamalCiphertext": ("repro.crypto.elgamal", "ElGamalCiphertext"),
     "AesGcm": ("repro.crypto.gcm", "AesGcm"),

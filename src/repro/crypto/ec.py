@@ -1,4 +1,4 @@
-"""NIST P-256 elliptic-curve arithmetic.
+"""NIST P-256 elliptic-curve arithmetic with a layered fast path.
 
 The paper's public-key operations (hashed ElGamal, ECDSA verification in the
 Table 7 microbenchmarks, the "g^x/sec" column of Table 2) all run over NIST
@@ -10,6 +10,33 @@ P-256.  This module implements the curve from scratch:
 - SEC1 compressed point (de)serialization,
 - key generation and ECDSA sign/verify (RFC 6979-style deterministic nonces).
 
+Because the generator is the single most-multiplied point in the system
+(keygen, hashed ElGamal, ECDSA sign/verify, every HSM decrypt), scalar
+multiplication is tiered:
+
+- **Fixed-base comb (constant table)**: ``g^x`` uses a radix-16 comb table
+  of ``w·16^i·G`` built once per process (``_generator_table``) and
+  normalized to affine with a single Montgomery batch inversion.  A
+  fixed-base multiply then needs only ~63 mixed additions and *zero*
+  doublings.
+- **Cached per-point windows (per-point table)**: repeated multiplications
+  of the same long-lived :class:`ECPoint` (HSM ElGamal keys, signer keys)
+  reuse an affine 4-bit window table cached on the instance, skipping the
+  15-entry table rebuild the naive path pays on every call.
+- **Per-call window (naive path)**: :func:`naive_mult` keeps the original
+  rebuild-the-table-every-call algorithm as the reference/baseline used by
+  property tests and ``benchmarks/bench_crypto_hotpath.py``.
+
+:func:`multi_mult` exposes Straus/Shamir multi-scalar multiplication
+(``Σ sᵢ·Pᵢ`` with one shared doubling chain), and
+:meth:`_Curve.ecdsa_verify_batch` verifies many signatures with shared
+fixed-base work and one batch inversion to normalize every result.  All
+batched paths are bit-for-bit deterministic — they produce exactly the same
+accept/reject decisions as the sequential code — and metering is preserved:
+``ec_mult``/``ecdsa_verify`` counts for a fixed workload are identical to
+the pre-fast-path implementation (the paper's cost accounting must not
+drift; only wall-clock changes).
+
 Scalar multiplications report ``ec_mult`` to the ambient meter; this is the
 paper's fundamental public-key cost unit (SoloKey: 7.69 ops/sec).
 """
@@ -18,9 +45,10 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro import metering
+from repro.crypto.field import batch_inverse_mod
 from repro.crypto.hashing import hmac_sha256, sha256
 
 # NIST P-256 domain parameters (FIPS 186-4, D.1.2.3).
@@ -32,6 +60,7 @@ GY = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
 N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
 
 _JPoint = Tuple[int, int, int]  # Jacobian (X, Y, Z); Z == 0 is infinity
+_Affine = Tuple[int, int]
 _INFINITY: _JPoint = (1, 1, 0)
 
 
@@ -41,7 +70,9 @@ def _jac_double(pt: _JPoint) -> _JPoint:
         return _INFINITY
     ysq = (y * y) % P
     s = (4 * x * ysq) % P
-    m = (3 * x * x + A * z * z * z * z) % P
+    # a = -3, so 3x² + a·z⁴ = 3(x - z²)(x + z²): three field mults, not six.
+    zsq = (z * z) % P
+    m = (3 * (x - zsq) * (x + zsq)) % P
     nx = (m * m - 2 * s) % P
     ny = (m * (s - nx) - 8 * ysq * ysq) % P
     nz = (2 * y * z) % P
@@ -75,7 +106,34 @@ def _jac_add(p1: _JPoint, p2: _JPoint) -> _JPoint:
     return nx, ny, nz
 
 
-def _jac_to_affine(pt: _JPoint) -> Optional[Tuple[int, int]]:
+def _jac_add_affine(p1: _JPoint, x2: int, y2: int) -> _JPoint:
+    """Mixed addition: ``p1 + (x2, y2, 1)``.
+
+    Table entries on the fast paths are pre-normalized to affine (Z = 1),
+    which removes four field multiplications per addition versus the general
+    Jacobian formula.
+    """
+    x1, y1, z1 = p1
+    if z1 == 0:
+        return (x2, y2, 1)
+    z1sq = (z1 * z1) % P
+    u2 = (x2 * z1sq) % P
+    s2 = (y2 * z1sq * z1) % P
+    if x1 == u2:
+        if y1 != s2:
+            return _INFINITY
+        return _jac_double(p1)
+    h = (u2 - x1) % P
+    r = (s2 - y1) % P
+    hsq = (h * h) % P
+    hcu = (hsq * h) % P
+    nx = (r * r - hcu - 2 * x1 * hsq) % P
+    ny = (r * (x1 * hsq - nx) - y1 * hcu) % P
+    nz = (h * z1) % P
+    return nx, ny, nz
+
+
+def _jac_to_affine(pt: _JPoint) -> Optional[_Affine]:
     x, y, z = pt
     if z == 0:
         return None
@@ -84,8 +142,38 @@ def _jac_to_affine(pt: _JPoint) -> Optional[Tuple[int, int]]:
     return (x * zinv2) % P, (y * zinv2 * zinv) % P
 
 
+def _jac_to_affine_batch(points: Sequence[_JPoint]) -> List[Optional[_Affine]]:
+    """Normalize many Jacobian points with ONE field inversion.
+
+    Montgomery's batch-inversion trick: invert the product of all Z values,
+    then unwind per-element inverses with two multiplications each.  Points
+    at infinity come back as ``None``.
+    """
+    zs = [pt[2] for pt in points if pt[2] != 0]
+    if not zs:
+        return [None] * len(points)
+    inverses = iter(batch_inverse_mod(zs, P))
+    out: List[Optional[_Affine]] = []
+    for x, y, z in points:
+        if z == 0:
+            out.append(None)
+            continue
+        zinv = next(inverses)
+        zinv2 = (zinv * zinv) % P
+        out.append(((x * zinv2) % P, (y * zinv2 * zinv) % P))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scalar-multiplication engines
+# ---------------------------------------------------------------------------
 def _jac_mult(pt: _JPoint, scalar: int) -> _JPoint:
-    """4-bit fixed-window scalar multiplication."""
+    """4-bit fixed-window scalar multiplication (per-call table).
+
+    This is the naive baseline: it rebuilds the 15-entry window table on
+    every call.  The fast paths below avoid exactly that rebuild; property
+    tests and the hot-path benchmark cross-check against this function.
+    """
     scalar %= N
     if scalar == 0:
         return _INFINITY
@@ -103,14 +191,137 @@ def _jac_mult(pt: _JPoint, scalar: int) -> _JPoint:
     return result
 
 
-class ECPoint:
-    """An affine point on P-256 (or the point at infinity)."""
+def _build_affine_window(x: int, y: int) -> List[Optional[_Affine]]:
+    """Affine 4-bit window table ``[None, P, 2P, ..., 15P]`` for a point.
 
-    __slots__ = ("x", "y")
+    The 14 additions run in Jacobian coordinates; one batch inversion then
+    normalizes all 15 entries at once so every later window addition is a
+    cheap mixed add.  (Multiples 1..15 of a point of prime order N are never
+    infinity.)
+    """
+    jac: List[_JPoint] = [(x, y, 1)]
+    for _ in range(14):
+        jac.append(_jac_add_affine(jac[-1], x, y))
+    return [None] + _jac_to_affine_batch(jac)  # type: ignore[list-item]
+
+
+def _window_mult(table: Sequence[Optional[_Affine]], scalar: int) -> _JPoint:
+    """Left-to-right 4-bit window multiply over a pre-built affine table."""
+    result = _INFINITY
+    nibbles: List[int] = []
+    while scalar:
+        nibbles.append(scalar & 0xF)
+        scalar >>= 4
+    for window in reversed(nibbles):
+        result = _jac_double(_jac_double(_jac_double(_jac_double(result))))
+        if window:
+            entry = table[window]
+            result = _jac_add_affine(result, entry[0], entry[1])  # type: ignore[index]
+    return result
+
+
+# -- fixed-base comb for the generator ----------------------------------------
+_COMB_ROWS = 64  # scalars are < 2^256: 64 radix-16 digits
+_FIXED_BASE_TABLE: Optional[List[List[Optional[_Affine]]]] = None
+
+
+def _generator_table() -> List[List[Optional[_Affine]]]:
+    """The constant fixed-base table: ``table[i][w] = w · 16^i · G`` (affine).
+
+    Built lazily once per process (~960 Jacobian additions + ONE field
+    inversion via batch normalization) and shared by every ``g^x`` in the
+    system.  A fixed-base multiply then performs at most one mixed addition
+    per nonzero radix-16 digit of the scalar — no doublings at all.
+
+    Thread-safety: a racing build computes an identical table; the final
+    single assignment makes the benign race harmless.
+    """
+    global _FIXED_BASE_TABLE
+    if _FIXED_BASE_TABLE is None:
+        jac_rows: List[List[_JPoint]] = []
+        base: _JPoint = (GX, GY, 1)
+        for _ in range(_COMB_ROWS):
+            row = [base]
+            for _ in range(14):
+                row.append(_jac_add(row[-1], base))
+            jac_rows.append(row)
+            base = _jac_add(row[-1], base)  # 16 · previous base
+        flat = [pt for row in jac_rows for pt in row]
+        affine = iter(_jac_to_affine_batch(flat))
+        _FIXED_BASE_TABLE = [
+            [None] + [next(affine) for _ in row] for row in jac_rows
+        ]
+    return _FIXED_BASE_TABLE
+
+
+def _fixed_base_mult(scalar: int) -> _JPoint:
+    """``scalar · G`` via the comb table: ~63 mixed adds, zero doublings."""
+    table = _generator_table()
+    result = _INFINITY
+    row = 0
+    while scalar:
+        window = scalar & 0xF
+        if window:
+            entry = table[row][window]
+            result = _jac_add_affine(result, entry[0], entry[1])  # type: ignore[index]
+        scalar >>= 4
+        row += 1
+    return result
+
+
+def _is_generator(x: Optional[int], y: Optional[int]) -> bool:
+    return x == GX and y == GY
+
+
+def _multi_mult_jac(pairs: Sequence[Tuple[int, "ECPoint"]]) -> _JPoint:
+    """Straus/Shamir interleaved multi-scalar multiply (no metering).
+
+    Scalars are assumed reduced mod N and nonzero, points non-infinity.
+    Generator terms are folded into one comb multiplication (zero
+    doublings); the remaining points share a single doubling chain, each
+    contributing one mixed addition per nonzero scalar digit.
+    """
+    gen_scalar = 0
+    others: List[Tuple[int, Sequence[Optional[_Affine]]]] = []
+    for scalar, point in pairs:
+        if _is_generator(point.x, point.y):
+            gen_scalar = (gen_scalar + scalar) % N
+        else:
+            others.append((scalar, point._window_table()))
+    result = _fixed_base_mult(gen_scalar) if gen_scalar else _INFINITY
+    if others:
+        top = max(scalar.bit_length() for scalar, _ in others)
+        positions = (top + 3) // 4
+        acc = _INFINITY
+        for pos in range(positions - 1, -1, -1):
+            acc = _jac_double(_jac_double(_jac_double(_jac_double(acc))))
+            shift = 4 * pos
+            for scalar, table in others:
+                window = (scalar >> shift) & 0xF
+                if window:
+                    entry = table[window]
+                    acc = _jac_add_affine(acc, entry[0], entry[1])  # type: ignore[index]
+        result = _jac_add(result, acc)
+    return result
+
+
+class ECPoint:
+    """An affine point on P-256 (or the point at infinity).
+
+    Instances lazily cache an affine 4-bit window table (``_wtab``) the
+    first time they are scalar-multiplied, so repeated multiplications of
+    the same long-lived point — HSM ElGamal keys, multisig signer keys —
+    skip the per-call table rebuild.  The cache is keyed on the instance;
+    equality/hashing ignore it.  Multiplications of the generator's
+    coordinates take the constant fixed-base comb path instead.
+    """
+
+    __slots__ = ("x", "y", "_wtab")
 
     def __init__(self, x: Optional[int], y: Optional[int]) -> None:
         self.x = x
         self.y = y
+        self._wtab: Optional[List[Optional[_Affine]]] = None
         if x is not None:
             if not (0 <= x < P and 0 <= y < P):  # type: ignore[operator]
                 raise ValueError("coordinates out of range")
@@ -125,6 +336,18 @@ class ECPoint:
         if self.is_infinity:
             return _INFINITY
         return (self.x, self.y, 1)  # type: ignore[return-value]
+
+    def _window_table(self) -> List[Optional[_Affine]]:
+        """The cached per-point window table (built on first use).
+
+        A benign race between threads builds identical tables; the single
+        attribute assignment keeps the cache consistent either way.
+        """
+        table = self._wtab
+        if table is None:
+            table = _build_affine_window(self.x, self.y)  # type: ignore[arg-type]
+            self._wtab = table
+        return table
 
     @staticmethod
     def _from_jac(pt: _JPoint) -> "ECPoint":
@@ -144,9 +367,18 @@ class ECPoint:
     def __sub__(self, other: "ECPoint") -> "ECPoint":
         return self + (-other)
 
+    def _mult_jac(self, scalar: int) -> _JPoint:
+        """Unmetered scalar multiply choosing the fastest applicable path."""
+        scalar %= N
+        if scalar == 0 or self.is_infinity:
+            return _INFINITY
+        if _is_generator(self.x, self.y):
+            return _fixed_base_mult(scalar)
+        return _window_mult(self._window_table(), scalar)
+
     def __mul__(self, scalar: int) -> "ECPoint":
         metering.count("ec_mult")
-        return ECPoint._from_jac(_jac_mult(self._jac(), scalar))
+        return ECPoint._from_jac(self._mult_jac(scalar))
 
     __rmul__ = __mul__
 
@@ -186,6 +418,49 @@ class ECPoint:
         return ECPoint(x, y)
 
 
+def naive_mult(point: ECPoint, scalar: int) -> ECPoint:
+    """The pre-fast-path algorithm: per-call window table, no caching.
+
+    Kept as the reference implementation for property tests and as the
+    baseline ``benchmarks/bench_crypto_hotpath.py`` measures speedups
+    against.  Reports ``ec_mult`` exactly like ``point * scalar``.
+    """
+    metering.count("ec_mult")
+    return ECPoint._from_jac(_jac_mult(point._jac(), scalar))
+
+
+def multi_mult(pairs: Sequence[Tuple[int, ECPoint]], count_ops: bool = True) -> ECPoint:
+    """Straus/Shamir multi-scalar multiplication: ``Σ sᵢ·Pᵢ`` in one pass.
+
+    All points share a single doubling chain (generator terms skip even
+    that, via the fixed-base comb), so ``k`` multiplications cost roughly
+    one multiplication plus ``k`` window-addition streams instead of ``k``
+    full multiplications.  The result is bit-for-bit the same point the
+    ``k`` separate multiplications would sum to.
+
+    Metering: reports one ``ec_mult`` per pair (matching what the ``k``
+    separate ``P * s`` calls would have reported) unless ``count_ops`` is
+    False — internal callers that never metered per-multiplication, like
+    ``ecdsa_verify``, pass False to keep the paper's cost model exact.
+    """
+    if count_ops and pairs:
+        metering.count("ec_mult", len(pairs))
+    live = [
+        (scalar % N, point)
+        for scalar, point in pairs
+        if scalar % N != 0 and not point.is_infinity
+    ]
+    if not live:
+        return ECPoint(None, None)
+    return ECPoint._from_jac(_multi_mult_jac(live))
+
+
+# Batched verification processes triples this many at a time: big enough to
+# amortize the shared normalization, small enough that a bad aggregate can
+# only waste one chunk of work past its first invalid signature.
+_VERIFY_CHUNK = 8
+
+
 class _Curve:
     """The P-256 group object: generator, order, key generation, ECDSA."""
 
@@ -220,7 +495,10 @@ class _Curve:
 
     # -- ECDSA ----------------------------------------------------------------
     def ecdsa_sign(self, secret: int, message: bytes) -> Tuple[int, int]:
-        """Deterministic ECDSA (RFC 6979-flavoured nonce derivation)."""
+        """Deterministic ECDSA (RFC 6979-flavoured nonce derivation).
+
+        The per-signature ``g^k`` rides the constant fixed-base comb.
+        """
         z = int.from_bytes(sha256(b"ecdsa", message), "big") % self.n
         k_seed = hmac_sha256(secret.to_bytes(32, "big"), sha256(b"nonce", message))
         k = (int.from_bytes(k_seed, "big") % (self.n - 1)) + 1
@@ -236,21 +514,111 @@ class _Curve:
                 continue
             return r, s
 
-    def ecdsa_verify(self, public: ECPoint, message: bytes, signature: Tuple[int, int]) -> bool:
-        metering.count("ecdsa_verify")
+    def _ecdsa_candidate(
+        self, public: ECPoint, message: bytes, signature: Tuple[int, int]
+    ) -> Optional[Tuple[int, _JPoint]]:
+        """Shared verification core: ``(r, u1·G + u2·Q)`` in Jacobian form,
+        or ``None`` for signatures that fail the scalar range checks.
+
+        ``u1·G`` takes the constant comb path, ``u2·Q`` the per-point cached
+        window; neither reports ``ec_mult`` (verification has always metered
+        only ``ecdsa_verify``)."""
         r, s = signature
         if not (1 <= r < self.n and 1 <= s < self.n):
-            return False
+            return None
         z = int.from_bytes(sha256(b"ecdsa", message), "big") % self.n
         w = pow(s, -1, self.n)
         u1 = (z * w) % self.n
         u2 = (r * w) % self.n
-        # Direct Jacobian computation: u1*G + u2*Q without double-metering.
-        pt = _jac_add(_jac_mult(self.generator._jac(), u1), _jac_mult(public._jac(), u2))
+        # Zero scalars and the identity point contribute nothing (u·∞ = ∞);
+        # dropping them here keeps an attacker-supplied infinity "public
+        # key" on the returns-False path instead of crashing the verifier.
+        pairs = [
+            (u, pt)
+            for u, pt in ((u1, self.generator), (u2, public))
+            if u and not pt.is_infinity
+        ]
+        return r, (_multi_mult_jac(pairs) if pairs else _INFINITY)
+
+    def ecdsa_verify(self, public: ECPoint, message: bytes, signature: Tuple[int, int]) -> bool:
+        metering.count("ecdsa_verify")
+        candidate = self._ecdsa_candidate(public, message, signature)
+        if candidate is None:
+            return False
+        r, pt = candidate
         affine = _jac_to_affine(pt)
         if affine is None:
             return False
         return affine[0] % self.n == r
+
+    def _verify_chunk(
+        self, items: Sequence[Tuple[ECPoint, bytes, Tuple[int, int]]]
+    ) -> List[bool]:
+        """Unmetered batch core: verdicts for a slice of triples, with all
+        result points normalized by ONE Montgomery batch inversion."""
+        candidates = [self._ecdsa_candidate(*item) for item in items]
+        points = [cand[1] for cand in candidates if cand is not None]
+        normalized = iter(_jac_to_affine_batch(points))
+        results: List[bool] = []
+        for cand in candidates:
+            if cand is None:
+                results.append(False)
+                continue
+            affine = next(normalized)
+            results.append(affine is not None and affine[0] % self.n == cand[0])
+        return results
+
+    def ecdsa_verify_batch(
+        self, items: Sequence[Tuple[ECPoint, bytes, Tuple[int, int]]]
+    ) -> List[bool]:
+        """Verify many ``(public, message, signature)`` triples at once.
+
+        Each triple's fixed-base work shares the comb table and all result
+        points are normalized with ONE Montgomery batch inversion instead of
+        one inversion per signature.  The outcome list is bit-for-bit what
+        sequential :meth:`ecdsa_verify` calls would return.
+
+        Metering mirrors a sequential short-circuiting caller: one
+        ``ecdsa_verify`` per item up to and including the first failure
+        (a modeled device stops checking there), so fixed-workload counts
+        are unchanged.  Callers that only need the conjunction should use
+        :meth:`ecdsa_verify_all`, which also stops *computing* early.
+        """
+        results = self._verify_chunk(items)
+        checked = len(results)
+        for index, ok in enumerate(results):
+            if not ok:
+                checked = index + 1
+                break
+        if checked:
+            metering.count("ecdsa_verify", checked)
+        return results
+
+    def ecdsa_verify_all(
+        self, items: Sequence[Tuple[ECPoint, bytes, Tuple[int, int]]]
+    ) -> bool:
+        """True iff every triple verifies; stops at the first failure.
+
+        Triples are processed in chunks of ``_VERIFY_CHUNK``: the honest
+        all-valid path keeps the shared fixed-base work and pays one batch
+        inversion per chunk (the inversion is microseconds; the scalar
+        multiplications dominate), while a rejected aggregate costs at most
+        one chunk of wasted candidate computations beyond the failing
+        signature — the sequential loop's early-abort cost bound, up to a
+        constant — instead of paying for all N.  Metering is exactly the
+        sequential short-circuit: one ``ecdsa_verify`` per triple up to and
+        including the first failure.
+        """
+        checked = 0
+        for start in range(0, len(items), _VERIFY_CHUNK):
+            for ok in self._verify_chunk(items[start : start + _VERIFY_CHUNK]):
+                checked += 1
+                if not ok:
+                    metering.count("ecdsa_verify", checked)
+                    return False
+        if checked:
+            metering.count("ecdsa_verify", checked)
+        return True
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,13 @@ Two properties matter for SafetyPin:
 The paper prescribes domain separation: the KDF input is prefixed with the
 client's username, the recovery salt, and the n cluster public keys
 (Appendix A.4, last paragraph).  Callers pass that as ``context``.
+
+Hot-path note: ``g^r`` inside :meth:`HashedElGamal.encrypt` rides the
+constant fixed-base comb table in ``repro.crypto.ec``, and ``X^r`` reuses
+the window table cached on the (long-lived) recipient key point, so
+repeated encryptions to the same HSM key skip the per-call table rebuild.
+Decryption's ``(g^r)^x`` sees a fresh ephemeral point each time and
+therefore pays one per-call window table — the naive path's cost floor.
 """
 
 from __future__ import annotations

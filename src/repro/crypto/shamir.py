@@ -10,6 +10,11 @@ to spare.
 corrupted ones; :meth:`ShamirSharer.reconstruct` mirrors that, and
 :meth:`ShamirSharer.reconstruct_robust` additionally implements the paper's
 majority vote over the attached message ciphertexts.
+
+Recombination is a recovery hot path: Lagrange interpolation inverts all
+``t`` denominators with one batched modular inversion (see
+``PrimeField.lagrange_interpolate_at_zero``), so reconstructing a share set
+costs a single ``pow(x, -1, p)`` regardless of the threshold.
 """
 
 from __future__ import annotations
@@ -120,9 +125,11 @@ class ShamirSharer:
         if len(available) < self.threshold:
             raise ValueError("not enough shares for robust reconstruction")
         rng = _secrets.SystemRandom()
+        # Wrap each share into field elements once; the attempt loop below
+        # only samples indices instead of rebuilding elements per subset.
+        wrapped = [(self.field(s.x), self.field(s.y)) for s in available]
         for _ in range(max_attempts):
-            subset = rng.sample(available, self.threshold)
-            points = [(self.field(s.x), self.field(s.y)) for s in subset]
+            points = [wrapped[i] for i in rng.sample(range(len(wrapped)), self.threshold)]
             try:
                 candidate = self._extract(
                     self.field.lagrange_interpolate_at_zero(points), secret_length

@@ -31,8 +31,8 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro import metering
-from repro.crypto.ec import ECPoint, P256, N as CURVE_ORDER
-from repro.crypto.field import PrimeField
+from repro.crypto.ec import ECPoint, P256, N as CURVE_ORDER, multi_mult
+from repro.crypto.field import PrimeField, batch_inverse_mod
 from repro.crypto.gcm import ae_decrypt, ae_encrypt
 from repro.crypto.hashing import kdf
 
@@ -101,21 +101,35 @@ def combine(
     partials: Sequence[Tuple[int, ECPoint]],
     context: bytes = b"",
 ) -> bytes:
-    """Lagrange recombination in the exponent, then AE decryption."""
+    """Lagrange recombination in the exponent, then AE decryption.
+
+    The ``t`` Lagrange denominators are inverted with one batched modular
+    inversion, and ``Π partials^{λ_i}`` runs as a single Straus multi-scalar
+    multiplication (one shared doubling chain) instead of ``t`` independent
+    point multiplications — same group element, ``t`` metered ``ec_mult``
+    either way, a fraction of the wall-clock.
+    """
     if len({i for i, _ in partials}) < public.threshold:
         raise ValueError(f"need {public.threshold} distinct partial decryptions")
     use = list({i: p for i, p in partials}.items())[: public.threshold]
     indices = [i for i, _ in use]
-    shared: ECPoint = ECPoint(None, None)
-    for i, partial in use:
-        # λ_i = Π_{j≠i} j / (j − i) mod curve order
+    # λ_i = Π_{j≠i} j / (j − i) mod curve order
+    nums, dens = [], []
+    for i in indices:
         num, den = 1, 1
         for j in indices:
             if j == i:
                 continue
             num = (num * j) % CURVE_ORDER
             den = (den * (j - i)) % CURVE_ORDER
-        coefficient = (num * pow(den, -1, CURVE_ORDER)) % CURVE_ORDER
-        shared = shared + partial * coefficient
+        nums.append(num)
+        dens.append(den)
+    den_invs = batch_inverse_mod(dens, CURVE_ORDER)
+    shared = multi_mult(
+        [
+            ((num * den_inv) % CURVE_ORDER, partial)
+            for (_, partial), num, den_inv in zip(use, nums, den_invs)
+        ]
+    )
     key = kdf("threshold-elgamal", shared.to_bytes(), context, length=16)
     return ae_decrypt(key, ciphertext.body, aad=context)

@@ -82,11 +82,19 @@ class EcdsaMultiSig(MultiSigScheme):
         return tuple(signatures)
 
     def verify_aggregate(self, publics, message: bytes, aggregate) -> bool:
+        """Batched verification: signatures share the fixed-base comb work
+        and result points are normalized in chunks by Montgomery batch
+        inversion, instead of N independent verifies each paying their own
+        table builds.  Accept/reject decisions, metered ``ecdsa_verify``
+        counts, and the early-abort cost bound on bad aggregates all match
+        the sequential short-circuiting loop this replaces."""
         if len(publics) != len(aggregate):
             return False
-        return all(
-            P256.ecdsa_verify(pk.public if isinstance(pk, ECKeyPair) else pk, message, sig)
-            for pk, sig in zip(publics, aggregate)
+        return P256.ecdsa_verify_all(
+            [
+                (pk.public if isinstance(pk, ECKeyPair) else pk, message, sig)
+                for pk, sig in zip(publics, aggregate)
+            ]
         )
 
 
@@ -160,32 +168,52 @@ class ChunkHeader:
 
 @dataclass(frozen=True)
 class ChunkPackage:
-    """One audited unit: a header plus the chunk's extension proofs."""
+    """One audited unit: a header plus the chunk's extension proofs.
+
+    The proofs' wire serialization is computed once per package and cached
+    (``build``, ``proofs_consistent``, and ``wire_size`` used to serialize
+    the same tuple independently).  The cache is a non-field attribute, so
+    ``dataclasses.replace`` — how adversaries forge variant packages —
+    yields a package that re-serializes its own (tampered) proofs.
+    """
 
     header: ChunkHeader
     proofs: Tuple[InsertionProof, ...]
+
+    def serialized_proofs(self) -> bytes:
+        """The chunk's proofs in wire form, serialized at most once."""
+        cached = getattr(self, "_serialized_proofs", None)
+        if cached is None:
+            cached = _serialize_proofs(self.proofs)
+            object.__setattr__(self, "_serialized_proofs", cached)
+        return cached
 
     @staticmethod
     def build(
         index: int, start_digest: bytes, end_digest: bytes, proofs: Sequence[InsertionProof]
     ) -> "ChunkPackage":
         proofs = tuple(proofs)
+        serialized = _serialize_proofs(proofs)
         header = ChunkHeader(
             index=index,
             start_digest=start_digest,
             end_digest=end_digest,
-            proofs_hash=sha256(b"chunk-proofs", _serialize_proofs(proofs)),
+            proofs_hash=sha256(b"chunk-proofs", serialized),
         )
-        return ChunkPackage(header=header, proofs=proofs)
+        package = ChunkPackage(header=header, proofs=proofs)
+        object.__setattr__(package, "_serialized_proofs", serialized)
+        return package
 
     def proofs_consistent(self) -> bool:
+        # The hash is always recomputed (auditors must re-check it); only
+        # the serialization is cached, keeping sha256_block counts exact.
         return self.header.proofs_hash == sha256(
-            b"chunk-proofs", _serialize_proofs(self.proofs)
+            b"chunk-proofs", self.serialized_proofs()
         )
 
     def wire_size(self) -> int:
         """Approximate bytes on the wire (for I/O cost accounting)."""
-        return len(self.header.leaf_bytes()) + len(_serialize_proofs(self.proofs))
+        return len(self.header.leaf_bytes()) + len(self.serialized_proofs())
 
 
 def transition_message(old_digest: bytes, new_digest: bytes, root: bytes) -> bytes:
@@ -287,7 +315,7 @@ class DistributedLog:
         self.config = config or LogConfig()
         self.dict = AuthenticatedDictionary()
         self.ordered_entries: List[Tuple[bytes, bytes]] = []
-        self.pending: List[Tuple[bytes, bytes]] = []
+        self.pending = []
         self.epoch = 0
         self.garbage_collections = 0
         self.archived_logs: List[List[Tuple[bytes, bytes]]] = []
@@ -295,11 +323,31 @@ class DistributedLog:
         self.certified_transitions: List[CertifiedTransition] = []
 
     # -- client-facing ----------------------------------------------------------
+    @property
+    def pending(self) -> List[Tuple[bytes, bytes]]:
+        """Insertions queued for the next epoch (a snapshot copy).
+
+        A parallel identifier set makes :meth:`insert`'s duplicate check
+        O(1) — a million-insertion epoch queues in O(n), not O(n²).  The
+        setter (used by ``prepare_update``, rollback, and adversarial
+        subclasses that replace the queue wholesale) rebuilds the set, and
+        the getter returns a copy so in-place mutation cannot silently
+        desync the two: change the queue via :meth:`insert` or by assigning
+        ``log.pending = [...]``.
+        """
+        return list(self._pending)
+
+    @pending.setter
+    def pending(self, entries: Sequence[Tuple[bytes, bytes]]) -> None:
+        self._pending: List[Tuple[bytes, bytes]] = list(entries)
+        self._pending_ids = {identifier for identifier, _ in self._pending}
+
     def insert(self, identifier: bytes, value: bytes) -> None:
         """Queue an identifier-value pair for the next update epoch."""
-        if identifier in self.dict or any(i == identifier for i, _ in self.pending):
+        if identifier in self.dict or identifier in self._pending_ids:
             raise KeyError(f"identifier already defined: {identifier!r}")
-        self.pending.append((identifier, value))
+        self._pending.append((identifier, value))
+        self._pending_ids.add(identifier)
 
     def get(self, identifier: bytes) -> Optional[bytes]:
         return self.dict.get(identifier)

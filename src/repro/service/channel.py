@@ -10,6 +10,13 @@ untrusted provider's network) is real in the reproduction too.
 Error outcomes (refused / punctured / fail-stopped) cross the wire as
 status codes and are re-raised client-side as the same exception types the
 devices throw, so protocol code is transport-agnostic.
+
+Each ``decrypt_share`` bottoms out in HSM-side ElGamal/BFE point
+multiplications, which since the crypto fast-path layer ride the fixed-base
+comb and per-key cached window tables in ``repro.crypto.ec`` — the channel
+turnaround (and therefore per-HSM queue drain rate in
+``service.workers``) tracks those table-backed rates rather than the naive
+rebuild-per-call cost.
 """
 
 from __future__ import annotations

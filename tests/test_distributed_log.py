@@ -72,6 +72,39 @@ class TestHappyPath:
         with pytest.raises(KeyError):
             log.insert(b"dup", b"v3")
 
+    def test_pending_setter_rebuilds_duplicate_index(self, log):
+        """The O(1) duplicate index must track wholesale replacement of the
+        pending queue (rollback and adversarial subclasses assign it)."""
+        log.insert(b"a", b"1")
+        log.pending = [(b"b", b"2"), (b"c", b"3")]
+        log.insert(b"a", b"1")  # no longer pending: fine again
+        with pytest.raises(KeyError):
+            log.insert(b"b", b"other")
+
+    def test_pending_getter_is_a_snapshot(self, log):
+        """In-place mutation of the returned list must not desync the
+        duplicate index — the getter hands out a copy."""
+        log.insert(b"snap", b"1")
+        log.pending.clear()  # mutates the copy, not the queue
+        assert log.pending == [(b"snap", b"1")]
+        with pytest.raises(KeyError):
+            log.insert(b"snap", b"2")  # still queued, still a duplicate
+
+    def test_chunk_serialization_cached_and_forgery_visible(self, log):
+        import dataclasses
+
+        from repro.log.distributed import ChunkPackage
+
+        log.insert(b"cs1", b"x")
+        log.insert(b"cs2", b"y")
+        round_ = log.prepare_update(num_chunks=1)
+        package = round_.chunks[0]
+        assert package.serialized_proofs() is package.serialized_proofs()  # cached
+        assert package.proofs_consistent()
+        assert package.wire_size() > 0
+        forged = dataclasses.replace(package, proofs=package.proofs[:1])
+        assert not forged.proofs_consistent()  # fresh cache, tamper detected
+
 
 class TestAuditSelection:
     def test_deterministic(self):

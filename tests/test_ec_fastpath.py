@@ -1,0 +1,241 @@
+"""The crypto fast-path layer: fixed-base comb, cached windows, multi-scalar.
+
+Every fast path must agree bit-for-bit with plain double-and-add (an
+independent reference built here from point additions only), and none of
+them may change what the ambient meter sees — the paper's cost accounting
+(`ec_mult`, `ecdsa_verify`, `sha256_block`) prices operations, not
+implementations.
+"""
+
+import random
+import secrets
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import SystemParams
+from repro.core.protocol import Deployment
+from repro.crypto.ec import N, P256, ECPoint, multi_mult, naive_mult
+from repro.crypto.field import PrimeField, batch_inverse_mod
+from repro.log.distributed import EcdsaMultiSig
+from repro.metering import OpMeter, metered
+
+G = P256.generator
+
+# Scalars where window/comb algorithms historically go wrong: zero, the
+# identity, all-ones digits, values at and just past the group order.
+EDGE_SCALARS = [0, 1, 2, 15, 16, 0xFFFF, N - 1, N, N + 1, (1 << 256) - 1]
+
+
+def double_and_add(point: ECPoint, scalar: int) -> ECPoint:
+    """Textbook double-and-add from point additions only — shares no code
+    with any multiplication path in ``repro.crypto.ec``."""
+    scalar %= N
+    result = ECPoint(None, None)
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = result + addend
+        addend = addend + addend
+        scalar >>= 1
+    return result
+
+
+@pytest.fixture(scope="module")
+def named_points():
+    rng = random.Random(0xEC)
+    return {
+        "generator": G,
+        "random": G * rng.randrange(1, N),
+        "small": G * 3,
+    }
+
+
+class TestAgainstDoubleAndAdd:
+    @pytest.mark.parametrize("scalar", EDGE_SCALARS)
+    def test_fixed_base_edge_scalars(self, scalar):
+        assert G * scalar == double_and_add(G, scalar)
+
+    @pytest.mark.parametrize("scalar", EDGE_SCALARS)
+    def test_cached_window_edge_scalars(self, scalar, named_points):
+        point = named_points["random"]
+        assert point * scalar == double_and_add(point, scalar)
+
+    @pytest.mark.parametrize("scalar", EDGE_SCALARS)
+    def test_naive_reference_edge_scalars(self, scalar, named_points):
+        point = named_points["random"]
+        assert naive_mult(point, scalar) == double_and_add(point, scalar)
+
+    @given(scalar=st.integers(0, N + 7))
+    @settings(max_examples=20, deadline=None)
+    def test_fixed_base_random_scalars(self, scalar):
+        assert G * scalar == double_and_add(G, scalar)
+
+    @given(scalar=st.integers(0, N + 7), seed=st.integers(1, 2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_cached_window_random_points(self, scalar, seed):
+        point = G * random.Random(seed).randrange(1, N)
+        expected = double_and_add(point, scalar)
+        assert point * scalar == expected
+        # Second multiply hits the cached table and must agree.
+        assert point * scalar == expected
+
+    @given(
+        scalars=st.lists(st.integers(0, N + 7), min_size=1, max_size=6),
+        seed=st.integers(1, 2**32),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_multi_mult_matches_sum(self, scalars, seed):
+        rng = random.Random(seed)
+        pairs = []
+        for i, scalar in enumerate(scalars):
+            point = G if i % 3 == 0 else G * rng.randrange(1, N)
+            pairs.append((scalar, point))
+        expected = ECPoint(None, None)
+        for scalar, point in pairs:
+            expected = expected + double_and_add(point, scalar)
+        assert multi_mult(pairs) == expected
+
+    def test_multi_mult_empty_and_zero(self):
+        assert multi_mult([]).is_infinity
+        assert multi_mult([(0, G), (N, G * 5)]).is_infinity
+        assert multi_mult([(0, G), (7, G)]) == double_and_add(G, 7)
+
+    def test_multi_mult_infinity_point(self):
+        assert multi_mult([(5, ECPoint(None, None)), (3, G)]) == double_and_add(G, 3)
+
+
+class TestBatchInverse:
+    @given(
+        values=st.lists(st.integers(1, N - 1), min_size=1, max_size=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_pow(self, values):
+        assert batch_inverse_mod(values, N) == [pow(v, -1, N) for v in values]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            batch_inverse_mod([3, 0, 5], N)
+
+    def test_empty(self):
+        assert batch_inverse_mod([], N) == []
+
+    def test_field_wrapper(self):
+        field = PrimeField(97)
+        elements = [field(v) for v in (1, 5, 42, 96)]
+        assert field.batch_inverse(elements) == [e.inverse() for e in elements]
+
+
+class TestBatchVerify:
+    @pytest.fixture(scope="class")
+    def signed(self):
+        scheme = EcdsaMultiSig()
+        keypairs = [scheme.keygen(random.Random(seed)) for seed in range(6)]
+        message = b"epoch transition"
+        sigs = [scheme.sign(kp.secret, message) for kp in keypairs]
+        return scheme, keypairs, message, sigs
+
+    def test_batch_matches_sequential(self, signed):
+        scheme, keypairs, message, sigs = signed
+        items = [(kp.public, message, sig) for kp, sig in zip(keypairs, sigs)]
+        # Corrupt a couple of entries in characteristic ways.
+        items[2] = (keypairs[2].public, b"wrong message", sigs[2])
+        items[4] = (keypairs[4].public, message, (0, 1))  # out-of-range r
+        sequential = [P256.ecdsa_verify(*item) for item in items]
+        assert P256.ecdsa_verify_batch(items) == sequential
+        assert sequential == [True, True, False, True, False, True]
+
+    def test_verify_aggregate_accepts_and_rejects(self, signed):
+        scheme, keypairs, message, sigs = signed
+        aggregate = scheme.aggregate(sigs)
+        assert scheme.verify_aggregate(keypairs, message, aggregate)
+        bad = scheme.aggregate([sigs[1]] + sigs[1:])  # first sig swapped
+        assert not scheme.verify_aggregate(keypairs, message, bad)
+        assert not scheme.verify_aggregate(keypairs[:-1], message, aggregate)
+
+    def test_infinity_public_key_rejected_not_crashed(self, signed):
+        """An attacker-supplied identity point as a signer key must land on
+        the returns-False path, as the pre-fast-path verifier did."""
+        scheme, keypairs, message, sigs = signed
+        infinity = ECPoint(None, None)
+        assert not P256.ecdsa_verify(infinity, message, sigs[0])
+        assert P256.ecdsa_verify_batch([(infinity, message, sigs[0])]) == [False]
+        publics = [infinity] + [kp.public for kp in keypairs[1:]]
+        assert not scheme.verify_aggregate(publics, message, scheme.aggregate(sigs))
+
+    def test_verify_all_short_circuits_computation(self, signed):
+        """ecdsa_verify_all must stop at the first failing chunk: a bad
+        aggregate costs one chunk of work, not all N verifications."""
+        from repro.crypto import ec as ec_module
+
+        scheme, keypairs, message, sigs = signed
+        items = [(kp.public, message, sig) for kp, sig in zip(keypairs, sigs)]
+        assert P256.ecdsa_verify_all(items)
+        assert not P256.ecdsa_verify_all([(keypairs[0].public, b"bad", sigs[0])] + items)
+        calls = []
+        original = ec_module._Curve._verify_chunk
+
+        def counting(self, chunk):
+            calls.append(len(chunk))
+            return original(self, chunk)
+
+        ec_module._Curve._verify_chunk = counting
+        try:
+            many = [(keypairs[0].public, b"wrong", sigs[0])] + items * 4
+            assert not P256.ecdsa_verify_all(many)
+        finally:
+            ec_module._Curve._verify_chunk = original
+        assert sum(calls) <= ec_module._VERIFY_CHUNK  # only the first chunk ran
+
+    def test_aggregate_metering_matches_short_circuit(self, signed):
+        """The sequential loop metered one ecdsa_verify per signature up to
+        and including the first failure; the batch path must report the
+        same counts or the modeled device costs drift."""
+        scheme, keypairs, message, sigs = signed
+        aggregate = scheme.aggregate(sigs)
+        with metered() as meter:
+            scheme.verify_aggregate(keypairs, message, aggregate)
+        assert meter.counts["ecdsa_verify"] == len(sigs)
+        bad = scheme.aggregate(sigs[:3] + [(1, 1)] + sigs[4:])
+        with metered() as meter:
+            scheme.verify_aggregate(keypairs, message, bad)
+        assert meter.counts["ecdsa_verify"] == 4  # stops at first bad signature
+
+
+class TestMeteringInvariance:
+    METERED_OPS = ("ec_mult", "ecdsa_verify", "sha256_block")
+    # Captured by running this exact workload on the pre-fast-path seed
+    # implementation (PR 2 tree).  The acceleration layer must not move any
+    # of these: it changes wall-clock, not the paper's cost model.
+    SEED_COUNTS = {"ec_mult": 339, "ecdsa_verify": 72, "sha256_block": 2585}
+
+    def run_fixed_workload(self):
+        """One seeded backup+recovery; all randomness from one PRNG so the
+        operation trace is a pure function of the code, not the run."""
+        stream = random.Random(0xC0FFEE)
+        originals = (secrets.token_bytes, secrets.randbelow)
+        secrets.token_bytes = lambda n=32: stream.getrandbits(8 * n).to_bytes(n, "big")
+        secrets.randbelow = lambda bound: stream.randrange(bound)
+        try:
+            meter = OpMeter()
+            with meter.attached():
+                params = SystemParams.for_testing(num_hsms=6, cluster_size=3)
+                deployment = Deployment.create(params, rng=random.Random(7))
+                client = deployment.new_client("meter-invariance-user")
+                client.backup(b"fixed workload payload", pin="1234")
+                recovered = client.recover(pin="1234")
+            assert recovered == b"fixed workload payload"
+            return {op: meter.counts[op] for op in self.METERED_OPS}
+        finally:
+            secrets.token_bytes, secrets.randbelow = originals
+
+    def test_fixed_workload_counts_unchanged(self):
+        assert self.run_fixed_workload() == self.SEED_COUNTS
+
+    def test_single_mult_still_counts_one(self):
+        point = G * 7
+        with metered() as meter:
+            _ = G * 12345          # fixed-base comb path
+            _ = point * 54321      # cached-window path
+            _ = naive_mult(point, 99)  # baseline path
+        assert meter.counts["ec_mult"] == 3

@@ -90,8 +90,14 @@ class TestSelect:
         assert len(lhe.select(b"salt", "0000")) == CLUSTER
 
     def test_wrong_pin_selects_wrong_cluster_whp(self, lhe, keys):
+        # A fixed salt keeps this deterministic: with replacement at
+        # N=12/n=4, a *random* salt sees an exact-set collision among 500
+        # wrong PINs ~30% of the time, which is a coin-flip, not a test.
+        # This salt's cluster has 4 distinct members and zero collisions.
         publics = [kp.public for kp in keys]
-        ct = lhe.encrypt(publics, "1234", b"msg", username="alice")
+        ct = lhe.encrypt(
+            publics, "1234", b"msg", username="alice", salt=b"lhe-select-salt0"
+        )
         right = set(lhe.select(ct.salt, "1234"))
         overlaps = sum(
             len(right & set(lhe.select(ct.salt, f"{p:04d}"))) == CLUSTER
