@@ -5,6 +5,9 @@ Every benchmark in this directory emits a human-readable table via
 ``benchmarks/out/BENCH_<name>.json`` so the perf trajectory can be tracked
 by tooling instead of eyeballs.
 
+The contract below is documented in full, with a worked example and the
+list of CI-gated benchmarks, in ``docs/BENCH_SCHEMA.md``.
+
 JSON contract (``schema`` = 1):
 
 ```

@@ -1,0 +1,300 @@
+"""Sharded epoch lanes: epoch-preparation throughput at 4 shards vs 1.
+
+Drives the same insertion workload through an unsharded deployment and a
+4-shard deployment (committee certification + parallel lanes) and measures
+epoch-preparation throughput (insertions committed per second of epoch
+work) two ways:
+
+- **cpu mode** — in-process devices, no simulated latency.  Isolates the
+  *algorithmic* win of committee certification: each shard's epoch is
+  audited and signed by its own N/S-device committee, so per-round
+  aggregate-verification work falls from N·N to N·N/S signatures (plus
+  smaller per-shard chunk trees), while off-committee devices adopt
+  foreign transitions lazily.
+- **device mode** — every epoch-protocol device call pays a fixed service
+  latency (SoloKey-class hardware is *slow*: the paper's Table 2 puts one
+  P-256 multiplication at ~1.2 s, so tens of milliseconds per protocol
+  call is generous).  The unsharded epoch visits all N devices serially
+  from one thread; the sharded tick fans one lane per shard across
+  disjoint committees through the service's lane workers, overlapping the
+  waits.  This isolates the *parallelism* win.
+
+Acceptance gates (exit code 1 on regression):
+
+- cpu-mode speedup at 4 shards >= 1.5x, and device-mode speedup >= 1.5x;
+- the fixed seeded workload at shards=1 meters *exactly* the seed's
+  operation counts and digest (sharding must cost nothing when off).
+
+Results go to ``benchmarks/out/sharded_epochs.txt`` and machine-readable
+``benchmarks/out/BENCH_sharded_epochs.json`` (schema 1, see
+``docs/BENCH_SCHEMA.md``).
+
+Run standalone:  ``PYTHONPATH=src python benchmarks/bench_sharded_epochs.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.core.params import SystemParams
+from repro.core.protocol import Deployment
+from repro.metering import OpMeter
+from repro.sim.queueing import EpochShardModel
+
+try:
+    from reporting import emit, table
+except ImportError:  # running as a module from the repo root
+    from benchmarks.reporting import emit, table
+
+SHARDS = 4
+HSMS = 8
+CLUSTER = 3
+
+GATES = {"cpu_speedup": 1.5, "device_speedup": 1.5}
+
+#: The shards=1 invariance constants, captured on the pre-sharding tree
+#: (commit 0a64ddd) by running exactly ``_invariance_counts``'s workload.
+SEED_AMBIENT = {"sha256_block": 8242, "ec_mult": 24, "ecdsa_verify": 192, "hmac": 24}
+SEED_DEVICE = {"sha256_block": 8499, "ec_mult": 416, "ecdsa_verify": 256}
+SEED_DIGEST = "c0dc9c0d982ec92dda58e216f616687823120537da44e64da9d32170452f8e2b"
+
+_SLOW_METHODS = (
+    "audit_log_update",
+    "audit_specific_chunks",
+    "accept_log_digest",
+    "accept_certified_transition",
+)
+
+
+class SlowDevice:
+    """An HSM whose epoch-protocol calls pay a fixed service latency.
+
+    Models the serial-link device of the paper's deployment; the sleep
+    releases the GIL, so waits overlap across devices exactly as real
+    hardware would.  (Offers stay free: they are an asynchronous enqueue.)
+    """
+
+    def __init__(self, device, delay: float) -> None:
+        self._device = device
+        self._delay = delay
+
+    def __getattr__(self, name):
+        attr = getattr(self._device, name)
+        if name in _SLOW_METHODS:
+            def slow_call(*args, **kwargs):
+                time.sleep(self._delay)
+                return attr(*args, **kwargs)
+
+            return slow_call
+        return attr
+
+
+def _params() -> SystemParams:
+    return SystemParams.for_testing(num_hsms=HSMS, cluster_size=CLUSTER, audit_count=2)
+
+
+def _deployment(shards: int) -> Deployment:
+    return Deployment.create(
+        _params(), rng=random.Random(17), shards=shards if shards > 1 else None
+    )
+
+
+def _workload(round_no: int, size: int):
+    return [
+        (b"bench|r%d-%d|0" % (round_no, i), b"h%d-%d" % (round_no, i))
+        for i in range(size)
+    ]
+
+
+def _run_cpu_mode(shards: int, rounds: int, batch: int) -> float:
+    """Seconds of epoch work per round, in-process devices (pure CPU)."""
+    dep = _deployment(shards)
+    log = dep.provider.log
+    for identifier, value in _workload(999, batch):  # warm round
+        log.insert(identifier, value)
+    log.run_update(dep.fleet.hsms)
+    start = time.perf_counter()
+    for round_no in range(rounds):
+        for identifier, value in _workload(round_no, batch):
+            log.insert(identifier, value)
+        log.run_update(dep.fleet.hsms)
+    return (time.perf_counter() - start) / rounds
+
+
+def _run_device_mode(shards: int, rounds: int, batch: int, delay: float) -> float:
+    """Seconds per round with per-call device latency, through the service
+    epoch path (FIFO per device; one parallel lane per shard)."""
+    dep = _deployment(shards)
+    dep.fleet.hsms = [SlowDevice(hsm, delay) for hsm in dep.fleet.hsms]
+    service = dep.recovery_service(tick_interval=3600.0)  # manual epochs only
+    log = dep.provider.log
+    service.pool.start()
+    try:
+        for identifier, value in _workload(999, batch):  # warm round
+            log.insert(identifier, value)
+        if shards > 1:
+            service.run_shard_epochs(log.shards_with_pending())
+        else:
+            service.run_epoch()
+        start = time.perf_counter()
+        for round_no in range(rounds):
+            for identifier, value in _workload(round_no, batch):
+                log.insert(identifier, value)
+            if shards > 1:
+                outcomes = service.run_shard_epochs(log.shards_with_pending())
+                failed = {k: e for k, e in outcomes.items() if e is not None}
+                assert not failed, failed
+            else:
+                service.run_epoch()
+        elapsed = (time.perf_counter() - start) / rounds
+    finally:
+        service.pool.stop()
+        if service._lane_pool is not None:
+            service._lane_pool.stop()
+    assert not log.pending
+    return elapsed
+
+
+def _invariance_counts():
+    """The fixed seeded shards=1 workload; must meter the seed's counts."""
+    params = SystemParams.for_testing(num_hsms=8, cluster_size=3, audit_count=2)
+    dep = Deployment.create(params, rng=random.Random(1234))
+    meter = OpMeter()
+    with meter.attached():
+        for epoch in range(3):
+            for i in range(16):
+                dep.provider.log.insert(
+                    b"bench|u%d-%d|0" % (epoch, i), b"commitment-%d-%d" % (epoch, i)
+                )
+            dep.provider.log.run_update(dep.fleet.hsms)
+    device = {}
+    for hsm in dep.fleet.hsms:
+        for key, value in hsm.meter.snapshot().items():
+            device[key] = device.get(key, 0) + value
+    return meter.snapshot(), device, dep.provider.log.digest.hex()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: fewer rounds and a smaller device latency",
+    )
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=None, help="insertions per round")
+    parser.add_argument(
+        "--device-ms", type=float, default=None,
+        help="simulated per-call device service latency (milliseconds)",
+    )
+    args = parser.parse_args(argv)
+    rounds = args.rounds or (2 if args.quick else 4)
+    batch = args.batch or (24 if args.quick else 32)
+    delay = (args.device_ms or (10.0 if args.quick else 25.0)) / 1000.0
+
+    # -- shards=1 must cost nothing: exact seed counts -----------------------
+    ambient, device, digest = _invariance_counts()
+    invariance_ok = (
+        all(ambient.get(k, 0) == v for k, v in SEED_AMBIENT.items())
+        and all(device.get(k, 0) == v for k, v in SEED_DEVICE.items())
+        and digest == SEED_DIGEST
+    )
+
+    rows = []
+    metrics = {}
+    for mode, runner, extra in (
+        ("cpu", _run_cpu_mode, ()),
+        ("device", _run_device_mode, (delay,)),
+    ):
+        base = runner(1, rounds, batch, *extra)
+        sharded = runner(SHARDS, rounds, batch, *extra)
+        speedup = base / sharded
+        metrics[f"{mode}_base_seconds_per_round"] = base
+        metrics[f"{mode}_sharded_seconds_per_round"] = sharded
+        metrics[f"{mode}_base_insertions_per_sec"] = batch / base
+        metrics[f"{mode}_sharded_insertions_per_sec"] = batch / sharded
+        metrics[f"{mode}_speedup"] = speedup
+        rows.append((mode, 1, batch, f"{base * 1000:.0f}", f"{batch / base:.0f}", ""))
+        rows.append(
+            (mode, SHARDS, batch, f"{sharded * 1000:.0f}",
+             f"{batch / sharded:.0f}", f"{speedup:.2f}x")
+        )
+
+    model = EpochShardModel(
+        arrival_rate=1000.0,
+        epoch_interval=600.0,
+        epoch_seconds=metrics["device_base_seconds_per_round"],
+        num_shards=SHARDS,
+        serial_fraction=0.1,
+    )
+
+    lines = table(
+        ("mode", "shards", "insertions", "ms/round", "ins/s", "speedup"),
+        rows,
+        (8, 8, 12, 10, 8, 9),
+    )
+    lines.append("")
+    lines.append(
+        f"committee certification: each of the {SHARDS} lanes is audited by "
+        f"{HSMS // SHARDS} of {HSMS} devices; off-committee devices adopt "
+        "quorum-signed transitions lazily"
+    )
+    lines.append(
+        f"device mode simulates {delay * 1000:.0f} ms per epoch-protocol call "
+        "(SoloKey-class hardware; paper Table 2)"
+    )
+    lines.append(
+        f"EpochShardModel (serial_fraction=0.1) projects {model.speedup():.1f}x "
+        "for the same lane count"
+    )
+    lines.append(
+        "shards=1 invariance (exact seed op counts + digest): "
+        + ("PASS" if invariance_ok else "FAIL")
+    )
+
+    failed_gates = [
+        name for name, bound in GATES.items() if metrics[name] < bound
+    ]
+    lines.append(
+        f"gates: cpu >= {GATES['cpu_speedup']}x, device >= "
+        f"{GATES['device_speedup']}x -> "
+        + ("PASS" if not failed_gates and invariance_ok else "FAIL")
+    )
+
+    emit(
+        "sharded_epochs",
+        f"Sharded epoch lanes: {SHARDS} shards vs 1 (same workload)",
+        lines,
+        data={
+            "results": [
+                {
+                    "mode": mode,
+                    "shards": shards,
+                    "insertions_per_round": ins,
+                    "ms_per_round": float(ms),
+                    "insertions_per_sec": float(rate),
+                }
+                for mode, shards, ins, ms, rate, _ in rows
+            ],
+            "metrics": dict(
+                metrics,
+                invariance_ok=invariance_ok,
+                modeled_speedup=model.speedup(),
+            ),
+            "op_counts": {k: ambient.get(k, 0) for k in SEED_AMBIENT},
+        },
+    )
+
+    if not invariance_ok:
+        print("FAIL: shards=1 moved the seed's metered counts or digest", file=sys.stderr)
+        return 1
+    if failed_gates:
+        print(f"FAIL: gates not met: {failed_gates}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Docstring lint for the packages the docs satellites promise are documented.
+
+Zero-dependency (AST-based) replacement for pydocstyle, tuned to this
+repo's contract:
+
+- every module has a module docstring of at least ``MIN_MODULE`` characters
+  (long enough to state the module's role and its thread-safety contract);
+- every public class, function, and method has a docstring (single-line is
+  fine; ``_private`` names, dunders, and ``@overload``/property *setters*
+  are exempt).
+
+Usage:  python scripts/docs_lint.py src/repro/service src/repro/log
+Exit status 1 (with a per-finding listing) if anything is missing.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+MIN_MODULE = 120  # characters — a one-liner is not a module contract
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _decorator_names(node: ast.AST):
+    for decorator in getattr(node, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Attribute):
+            yield target.attr
+        elif isinstance(target, ast.Name):
+            yield target.id
+
+
+def _check_callable(node, qualname: str, findings, path: Path) -> None:
+    if "setter" in _decorator_names(node) or "deleter" in _decorator_names(node):
+        return  # the getter carries the docstring
+    if ast.get_docstring(node) is None:
+        findings.append(f"{path}:{node.lineno}: missing docstring on `{qualname}`")
+
+
+def lint_file(path: Path, findings: list) -> None:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    module_doc = ast.get_docstring(tree)
+    if module_doc is None:
+        findings.append(f"{path}:1: missing module docstring")
+    elif len(module_doc) < MIN_MODULE:
+        findings.append(
+            f"{path}:1: module docstring too thin ({len(module_doc)} chars; "
+            f"state the module's role and thread-safety contract, >= {MIN_MODULE})"
+        )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_public(node.name):
+            _check_callable(node, node.name, findings, path)
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            if ast.get_docstring(node) is None:
+                findings.append(
+                    f"{path}:{node.lineno}: missing docstring on class `{node.name}`"
+                )
+            for member in node.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and _is_public(member.name):
+                    _check_callable(member, f"{node.name}.{member.name}", findings, path)
+
+
+def main(argv) -> int:
+    roots = [Path(arg) for arg in argv] or [
+        Path("src/repro/service"),
+        Path("src/repro/log"),
+    ]
+    findings: list = []
+    checked = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            lint_file(file, findings)
+            checked += 1
+    if findings:
+        print("\n".join(findings))
+        print(f"\ndocs lint: {len(findings)} finding(s) in {checked} file(s)")
+        return 1
+    print(f"docs lint: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

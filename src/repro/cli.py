@@ -107,10 +107,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         cluster_size=args.cluster,
         max_punctures=max(16, 4 * args.clients),
     )
+    shard_note = f", {args.shards} log shards" if args.shards > 1 else ""
     print(f"provisioning {params.num_hsms} HSMs for {args.clients} concurrent "
-          f"clients ({args.epoch_mode} epochs, {args.transport} transport)...")
+          f"clients ({args.epoch_mode} epochs, {args.transport} transport"
+          f"{shard_note})...")
     dep = Deployment.create(params, rng=random.Random(args.seed))
     service = dep.recovery_service(
+        shards=args.shards if args.shards > 1 else None,
         transport=args.transport,
         epoch_mode=args.epoch_mode,
         tick_interval=args.tick_interval,
@@ -144,7 +147,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
           f"({args.clients / max(elapsed, 1e-9):.1f} sessions/s)")
     epochs = dep.provider.log.epoch - epochs_before
     if args.epoch_mode == "batched":
-        print(f"log epochs committed: {epochs} "
+        lanes = stats.get("shard_lanes", 1)
+        lane_note = f" across {lanes} shard lanes" if lanes > 1 else ""
+        print(f"log epochs committed: {epochs}{lane_note} "
               f"(sessions per epoch: {stats['epoch_sessions']})")
     else:
         print(f"log epochs committed: {epochs} (one per recovery)")
@@ -220,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--epoch-mode", choices=("batched", "per-request"), default="batched"
     )
     loadtest.add_argument("--tick-interval", type=float, default=0.02)
+    loadtest.add_argument(
+        "--shards", type=int, default=1,
+        help="log shards / parallel epoch lanes (>1 reshards the log)",
+    )
     loadtest.add_argument("--seed", type=int, default=7)
     loadtest.set_defaults(func=_cmd_loadtest)
     return parser

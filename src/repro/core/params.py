@@ -42,6 +42,7 @@ class SystemParams:
     max_garbage_collections: int = 24
     rotation_threshold: float = 0.5  # rotate once half the slot keys are gone
     use_paper_bloom: bool = False  # 64 MB / 2^21-slot keys (§9.1) vs generic sizing
+    log_shards: int = 1  # >1 partitions the log into parallel epoch lanes
 
     def __post_init__(self) -> None:
         if not (1 <= self.threshold <= self.cluster_size <= self.num_hsms):
@@ -50,6 +51,12 @@ class SystemParams:
             raise ValueError("pin_length must be >= 1")
         if not (0 < self.f_secret < 1 and 0 < self.f_live < 1):
             raise ValueError("f_secret and f_live must be in (0, 1)")
+        if self.log_shards < 1:
+            raise ValueError("log_shards must be >= 1")
+        if self.log_shards > self.num_hsms:
+            raise ValueError(
+                "log_shards cannot exceed num_hsms (shard committees would be empty)"
+            )
 
     # -- derived quantities ---------------------------------------------------
     @property
@@ -76,6 +83,7 @@ class SystemParams:
             quorum_fraction=self.quorum_fraction,
             max_garbage_collections=self.max_garbage_collections,
             max_attempts_per_user=self.max_attempts_per_user,
+            num_shards=self.log_shards,
         )
 
     def validate_pin(self, pin: str) -> None:
@@ -103,6 +111,7 @@ class SystemParams:
         bloom_failure_exponent: int = 4,
         audit_count: int = 3,
         quorum_fraction: float = 0.75,
+        log_shards: int = 1,
     ) -> "SystemParams":
         """Scaled-down parameters that exercise every code path quickly."""
         return SystemParams(
@@ -114,4 +123,5 @@ class SystemParams:
             bloom_failure_exponent=bloom_failure_exponent,
             audit_count=audit_count,
             quorum_fraction=quorum_fraction,
+            log_shards=log_shards,
         )

@@ -44,12 +44,21 @@ class Deployment:
         params: SystemParams,
         multisig: Optional[MultiSigScheme] = None,
         rng: Optional[random.Random] = None,
+        shards: Optional[int] = None,
     ) -> "Deployment":
         """Provision a deployment: HSM keygen, signer directory, log wiring.
 
         ``multisig`` defaults to the concatenated-ECDSA scheme for speed;
         pass :class:`BlsMultiSig` for the paper's aggregate signatures.
+
+        ``shards`` overrides ``params.log_shards``: ``shards >= 2``
+        provisions a sharded log from genesis (devices track one digest
+        per lane; see ``repro.log.sharded``), so no migration is needed.
         """
+        if shards is not None:
+            import dataclasses
+
+            params = dataclasses.replace(params, log_shards=shards)
         provider = ServiceProvider(params.log_config())
         fleet = HsmFleet(
             num_hsms=params.num_hsms,
@@ -89,12 +98,45 @@ class Deployment:
         self.clients.append(client)
         return client
 
-    def recovery_service(self, **kwargs) -> "object":
+    def recovery_service(self, shards: Optional[int] = None, **kwargs) -> "object":
         """A concurrent :class:`~repro.service.recovery.RecoveryService`
-        front end over this deployment (batched epochs, per-HSM queues)."""
+        front end over this deployment (batched epochs, per-HSM queues).
+
+        ``shards`` selects how many parallel epoch lanes the service runs:
+        it must match the deployment's log sharding, and if the log is
+        still unsharded the deployment is migrated first (one-way; see
+        :meth:`reshard_log`).  Provisioning with
+        ``Deployment.create(params, shards=S)`` avoids the migration.
+        """
         from repro.service.recovery import RecoveryService
 
+        if shards is not None:
+            current = getattr(self.provider.log, "num_shards", 1)
+            if shards != current:
+                if current != 1:
+                    raise ValueError(
+                        f"log already has {current} shards; resharding is one-way"
+                    )
+                if shards > 1:
+                    self.reshard_log(shards)
         return RecoveryService(self, **kwargs)
+
+    def reshard_log(self, shards: int) -> None:
+        """Migrate the (unsharded) log onto ``shards`` parallel lanes.
+
+        One-way provisioning step: every committed entry is re-routed to
+        its hash shard and re-certified by the full fleet through genesis
+        epochs (``ShardedLog.migrate``).  The pre-migration log is archived
+        so :meth:`~repro.log.auditor.ExternalAuditor.audit_reshard` can
+        verify completeness offline.
+        """
+        from repro.log.sharded import ShardedLog
+
+        self.provider.log = ShardedLog.migrate(
+            self.provider.log, shards, self.fleet.hsms
+        )
+        # The registry writes into whatever log the provider currently runs.
+        self.membership.rebind(self.provider.log)
 
     # -- maintenance ----------------------------------------------------------------
     def run_log_update(self) -> None:

@@ -17,6 +17,7 @@ from repro.core.identifiers import attempt_identifier, user_prefix
 from repro.core.lhe import LheCiphertext
 from repro.log.authdict import InclusionProof
 from repro.log.distributed import DistributedLog, LogConfig
+from repro.log.sharded import ShardedLog
 from repro.storage.blockstore import InMemoryBlockStore
 
 
@@ -28,7 +29,10 @@ class ServiceProvider:
     """Untrusted data-center operator."""
 
     def __init__(self, log_config: Optional[LogConfig] = None) -> None:
-        self.log = DistributedLog(log_config)
+        config = log_config or LogConfig()
+        # num_shards > 1 partitions the log into independent epoch lanes
+        # (see repro.log.sharded); 1 keeps the paper's single digest chain.
+        self.log = ShardedLog(config) if config.num_shards > 1 else DistributedLog(config)
         # username -> list of uploaded recovery ciphertexts (newest last)
         self._backups: Dict[str, List[LheCiphertext]] = defaultdict(list)
         # username -> AE-encrypted incremental backup blobs (§8)

@@ -21,7 +21,9 @@ from repro.crypto.bfe import BfeCiphertext
 from repro.crypto.commit import CommitmentOpening
 from repro.crypto.ec import ECPoint
 from repro.crypto.elgamal import ElGamalCiphertext
+from repro.crypto.merkle import MerkleProof
 from repro.log.authdict import InclusionProof, PathStep
+from repro.log.sharded import ShardedInclusionProof
 
 WIRE_VERSION = 1
 
@@ -246,7 +248,14 @@ def decode_decrypt_reply(data: bytes):
 # ---------------------------------------------------------------------------
 # Log inclusion proofs
 # ---------------------------------------------------------------------------
-def encode_inclusion_proof(proof: InclusionProof) -> bytes:
+#: Proof-kind tags: a plain BST proof against a single log digest, or a
+#: sharded proof carrying the shard routing and the Merkle path from the
+#: shard digest to the cross-shard root.
+PROOF_PLAIN = 1
+PROOF_SHARDED = 2
+
+
+def _encode_plain_proof(proof: InclusionProof) -> bytes:
     parts = [_u32(len(proof.steps))]
     for step in proof.steps:
         parts.append(_blob(step.idh))
@@ -257,8 +266,7 @@ def encode_inclusion_proof(proof: InclusionProof) -> bytes:
     return b"".join(parts)
 
 
-def decode_inclusion_proof(data: bytes) -> InclusionProof:
-    reader = _Reader(data)
+def _decode_plain_proof(reader: _Reader) -> InclusionProof:
     count = reader.u32()
     if count > 4096:
         raise WireFormatError("implausible proof depth")
@@ -268,8 +276,58 @@ def decode_inclusion_proof(data: bytes) -> InclusionProof:
     )
     left = reader.blob()
     right = reader.blob()
-    reader.finish()
     return InclusionProof(steps=steps, left=left, right=right)
+
+
+def encode_inclusion_proof(proof) -> bytes:
+    """Serialize a plain or sharded inclusion proof (tagged by kind)."""
+    if isinstance(proof, ShardedInclusionProof):
+        return b"".join(
+            [
+                bytes([PROOF_SHARDED]),
+                _u32(proof.shard),
+                _u32(proof.num_shards),
+                _blob(proof.shard_digest),
+                _blob(proof.shard_path.to_bytes()),
+                _encode_plain_proof(proof.inclusion),
+            ]
+        )
+    return bytes([PROOF_PLAIN]) + _encode_plain_proof(proof)
+
+
+def decode_inclusion_proof(data: bytes):
+    """Decode a proof; returns :class:`InclusionProof` or
+    :class:`ShardedInclusionProof` according to the kind tag."""
+    reader = _Reader(data)
+    kind = reader.u8()
+    if kind == PROOF_PLAIN:
+        proof: object = _decode_plain_proof(reader)
+    elif kind == PROOF_SHARDED:
+        shard = reader.u32()
+        num_shards = reader.u32()
+        if not (2 <= num_shards <= 4096):
+            raise WireFormatError("implausible shard count")
+        if shard >= num_shards:
+            raise WireFormatError("shard index out of range")
+        shard_digest = reader.blob()
+        path_bytes = reader.blob()
+        try:
+            shard_path = MerkleProof.from_bytes(path_bytes)
+        except ValueError as exc:
+            raise WireFormatError(str(exc)) from exc
+        if shard_path.to_bytes() != path_bytes:
+            raise WireFormatError("non-canonical shard path")
+        proof = ShardedInclusionProof(
+            shard=shard,
+            num_shards=num_shards,
+            shard_digest=shard_digest,
+            shard_path=shard_path,
+            inclusion=_decode_plain_proof(reader),
+        )
+    else:
+        raise WireFormatError(f"unknown inclusion-proof kind {kind}")
+    reader.finish()
+    return proof
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ price exactly what each HSM did on the Table 7 cost model.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -50,8 +51,9 @@ from repro.log.distributed import (
     MultiSigScheme,
     UpdateRound,
     audit_chunk_indices,
-    transition_message,
+    shard_transition_message,
 )
+from repro.log.sharded import ShardedInclusionProof, cross_shard_root, shard_of
 from repro.metering import OpMeter
 from repro.storage.blockstore import BlockStore, InMemoryBlockStore
 
@@ -134,7 +136,18 @@ class HsmDevice:
                 bloom_params, self._store, rng
             )
             self._sig_keypair = multisig_scheme.keygen(rng)
-        self._log_digest = empty_digest()
+        # One digest per shard lane of the log (a 1-element list for the
+        # legacy unsharded log).  The shard count is trusted configuration:
+        # it is bound into every signed transition, and write-once relies on
+        # identifier->shard routing being fixed.
+        self._shard_digests = [empty_digest()] * max(1, self.log_config.num_shards)
+        # Quorum-signed transitions for *foreign* shards (lanes whose
+        # committee this device is not on), offered by the provider and
+        # verified lazily on first use — see offer_certified_transition.
+        # The lock makes offers a cheap cross-thread push (epoch lanes
+        # enqueue directly; this device's worker drains at sync time).
+        self._pending_foreign: Dict[int, List] = {}
+        self._offer_lock = threading.Lock()
         # Directory of fleet signing keys, installed at provisioning time so
         # the device can verify aggregate signatures (the paper's aggregate
         # public key).  index -> public key object.
@@ -154,8 +167,44 @@ class HsmDevice:
         self._sig_directory = dict(directory)
 
     @property
+    def num_shards(self) -> int:
+        """How many shard lanes this device tracks (1 = unsharded)."""
+        return len(self._shard_digests)
+
+    @property
     def log_digest(self) -> bytes:
-        return self._log_digest
+        """The device's single log anchor.
+
+        Unsharded: the one digest it tracks.  Sharded: the cross-shard
+        root over its per-shard digests — the same value
+        ``ShardedLog.digest`` publishes once every lane has committed.
+        Reading the anchor first verifies and applies any offered foreign
+        transitions (a trust-critical read must be current).
+        """
+        if len(self._shard_digests) == 1:
+            return self._shard_digests[0]
+        with self._offer_lock:
+            pending = sorted(self._pending_foreign)
+        if pending:
+            with self.meter.attached():
+                for shard in pending:
+                    self._sync_shard(shard)
+        return cross_shard_root(self._shard_digests)
+
+    @property
+    def _log_digest(self) -> bytes:
+        # Legacy seam (tests re-sync unsharded devices through it).
+        return self._shard_digests[0]
+
+    @_log_digest.setter
+    def _log_digest(self, digest: bytes) -> None:
+        if len(self._shard_digests) != 1:
+            raise ValueError("sharded devices have no single writable digest")
+        self._shard_digests[0] = digest
+
+    def shard_digest(self, shard: int) -> bytes:
+        """The device's digest for one shard lane."""
+        return self._shard_digests[shard]
 
     # -- failure injection -----------------------------------------------------
     def fail_stop(self) -> None:
@@ -169,11 +218,23 @@ class HsmDevice:
             raise HsmUnavailableError(f"HSM {self.index} has fail-stopped")
 
     # -- log update protocol (HSM side of Figure 5) ------------------------------
+    def _round_shard(self, round_: UpdateRound) -> int:
+        """Validate a round's shard stamp against this device's arity."""
+        shard = getattr(round_, "shard", 0)
+        num_shards = getattr(round_, "num_shards", 1)
+        if num_shards != len(self._shard_digests) or not (0 <= shard < num_shards):
+            raise LogUpdateRejected(
+                f"HSM {self.index}: round claims shard {shard}/{num_shards}, "
+                f"I track {len(self._shard_digests)} shard(s)"
+            )
+        return shard
+
     def audit_log_update(self, round_: UpdateRound):
         """Audit C chunks of the proposed update; sign (d, d', R) if clean."""
         self._check_alive()
         with self.meter.attached():
-            if round_.old_digest != self._log_digest:
+            shard = self._round_shard(round_)
+            if round_.old_digest != self._shard_digests[shard]:
                 raise LogUpdateRejected(
                     f"HSM {self.index}: update does not build on my digest"
                 )
@@ -184,7 +245,13 @@ class HsmDevice:
                 self._audit_one_chunk(round_, idx)
             return self.multisig_scheme.sign(
                 self._sig_keypair.secret,
-                transition_message(round_.old_digest, round_.new_digest, round_.root),
+                shard_transition_message(
+                    shard,
+                    len(self._shard_digests),
+                    round_.old_digest,
+                    round_.new_digest,
+                    round_.root,
+                ),
             )
 
     def audit_specific_chunks(self, round_: UpdateRound, indices: Sequence[int]) -> None:
@@ -196,7 +263,8 @@ class HsmDevice:
         """
         self._check_alive()
         with self.meter.attached():
-            if round_.old_digest != self._log_digest:
+            shard = self._round_shard(round_)
+            if round_.old_digest != self._shard_digests[shard]:
                 raise LogUpdateRejected(
                     f"HSM {self.index}: coverage request for a foreign digest"
                 )
@@ -240,7 +308,13 @@ class HsmDevice:
     ) -> None:
         """Adopt d' after verifying the aggregate signature and quorum."""
         self._accept_transition(
-            round_.old_digest, round_.new_digest, round_.root, aggregate, signer_ids
+            round_.old_digest,
+            round_.new_digest,
+            round_.root,
+            aggregate,
+            signer_ids,
+            shard=getattr(round_, "shard", 0),
+            num_shards=getattr(round_, "num_shards", 1),
         )
 
     def accept_certified_transition(self, transition) -> None:
@@ -251,7 +325,24 @@ class HsmDevice:
             transition.root,
             transition.aggregate,
             transition.signer_ids,
+            shard=getattr(transition, "shard", 0),
+            num_shards=getattr(transition, "num_shards", 1),
         )
+
+    def committee_for(self, shard: int) -> List[int]:
+        """The shard's certifying committee: directory indices ≡ shard (mod S).
+
+        With ``num_shards == 1`` every device is on the (single) committee,
+        reproducing the legacy full-fleet quorum.  Committees are a *cost*
+        partition, not a trust boundary: any honest device's signature
+        attests a real audit, and the quorum threshold is sized to the
+        committee, so ``f_secret`` tolerance applies per committee —
+        deployments choose ``S`` so ``N/S`` keeps that bound acceptable.
+        """
+        num_shards = len(self._shard_digests)
+        if num_shards == 1:
+            return sorted(self._sig_directory)
+        return sorted(i for i in self._sig_directory if i % num_shards == shard)
 
     def _accept_transition(
         self,
@@ -260,28 +351,125 @@ class HsmDevice:
         root: bytes,
         aggregate,
         signer_ids: Tuple[int, ...],
+        shard: int = 0,
+        num_shards: int = 1,
     ) -> None:
         self._check_alive()
         with self.meter.attached():
-            if old_digest != self._log_digest:
-                raise LogUpdateRejected(
-                    f"HSM {self.index}: aggregate is for a different base digest"
-                )
-            unknown = [i for i in signer_ids if i not in self._sig_directory]
-            if unknown:
-                raise LogUpdateRejected(f"HSM {self.index}: unknown signers {unknown}")
-            if len(set(signer_ids)) != len(signer_ids):
-                raise LogUpdateRejected(f"HSM {self.index}: duplicate signers")
-            quorum = self.log_config.quorum_fraction * len(self._sig_directory)
-            if len(signer_ids) < quorum:
-                raise LogUpdateRejected(
-                    f"HSM {self.index}: only {len(signer_ids)} signers, need {quorum:.1f}"
-                )
-            publics = [self._sig_directory[i] for i in signer_ids]
-            message = transition_message(old_digest, new_digest, root)
-            if not self.multisig_scheme.verify_aggregate(publics, message, aggregate):
-                raise LogUpdateRejected(f"HSM {self.index}: aggregate signature invalid")
-            self._log_digest = new_digest
+            self._apply_transition(
+                old_digest, new_digest, root, aggregate, signer_ids, shard, num_shards
+            )
+
+    def _apply_transition(
+        self,
+        old_digest: bytes,
+        new_digest: bytes,
+        root: bytes,
+        aggregate,
+        signer_ids: Tuple[int, ...],
+        shard: int,
+        num_shards: int,
+    ) -> None:
+        """Verify + adopt one transition (caller provides metering context)."""
+        if num_shards != len(self._shard_digests) or not (0 <= shard < num_shards):
+            raise LogUpdateRejected(
+                f"HSM {self.index}: transition claims shard {shard}/{num_shards}, "
+                f"I track {len(self._shard_digests)} shard(s)"
+            )
+        if old_digest != self._shard_digests[shard]:
+            raise LogUpdateRejected(
+                f"HSM {self.index}: aggregate is for a different base digest"
+            )
+        unknown = [i for i in signer_ids if i not in self._sig_directory]
+        if unknown:
+            raise LogUpdateRejected(f"HSM {self.index}: unknown signers {unknown}")
+        if len(set(signer_ids)) != len(signer_ids):
+            raise LogUpdateRejected(f"HSM {self.index}: duplicate signers")
+        # Only the shard's own committee counts toward its quorum: otherwise
+        # quorum-many compromised devices from *any* committee could certify
+        # transitions for *every* shard, voiding the per-committee f_secret
+        # bound.  (Off-committee signatures may ride along — extra audits —
+        # but they never substitute for committee consent.)
+        committee = set(self.committee_for(shard))
+        committee_signers = [i for i in signer_ids if i in committee]
+        quorum = self.log_config.quorum_fraction * len(committee)
+        if len(committee_signers) < quorum:
+            raise LogUpdateRejected(
+                f"HSM {self.index}: only {len(committee_signers)} committee "
+                f"signers, need {quorum:.1f}"
+            )
+        publics = [self._sig_directory[i] for i in signer_ids]
+        message = shard_transition_message(
+            shard, num_shards, old_digest, new_digest, root
+        )
+        if not self.multisig_scheme.verify_aggregate(publics, message, aggregate):
+            raise LogUpdateRejected(f"HSM {self.index}: aggregate signature invalid")
+        self._shard_digests[shard] = new_digest
+
+    # -- lazy adoption of foreign shard lanes ---------------------------------------
+    def offer_certified_transition(self, transition) -> None:
+        """Queue a foreign shard's quorum-signed transition for lazy adoption.
+
+        Devices off a shard's committee do not audit that shard's epochs;
+        the provider *offers* them each certified transition instead.  The
+        offer itself is unverified (a cheap thread-safe enqueue, so the
+        epoch's wall clock never pays N aggregate verifications); the
+        device verifies the chain on first use — a decrypt anchored to that
+        shard, or a read of :attr:`log_digest` — charging its own meter
+        then.  A bogus offer can only cost the device one failed
+        verification: adoption requires the committee quorum's signature,
+        so safety never rests on the offer queue.  If the queue overflows,
+        newest offers are shed; the provider re-offers the missing suffix
+        next epoch by checking :meth:`offered_frontier`, so a shed offer is
+        lag, never a permanent gap.
+        """
+        if self.is_failed:
+            return
+        shard = getattr(transition, "shard", 0)
+        with self._offer_lock:
+            queue = self._pending_foreign.setdefault(shard, [])
+            if len(queue) < 4096:  # bound provider-driven memory
+                queue.append(transition)
+
+    def offered_frontier(self, shard: int) -> bytes:
+        """Where this device's view of a foreign shard will be after a sync:
+        the last queued offer's end digest, or the adopted digest if the
+        queue is empty.  The provider reads this (cheap, no crypto) to
+        offer exactly the chain suffix the device is missing."""
+        with self._offer_lock:
+            queue = self._pending_foreign.get(shard)
+            if queue:
+                return queue[-1].new_digest
+        return self._shard_digests[shard]
+
+    def _sync_shard(self, shard: int) -> None:
+        """Verify + apply offered transitions for one shard, in chain order.
+
+        Offers that do not extend the current digest (stale, duplicate, or
+        forged) are dropped; a verification failure drops only the bad
+        offer — the rest of the queue survives for the next sync — and
+        propagates, because an invalid aggregate that *claims* to extend
+        the chain is an attack, not noise.  Caller provides the metering
+        context.
+        """
+        while True:
+            with self._offer_lock:
+                queue = self._pending_foreign.get(shard)
+                if not queue:
+                    self._pending_foreign.pop(shard, None)
+                    return
+                transition = queue.pop(0)
+            if transition.old_digest != self._shard_digests[shard]:
+                continue
+            self._apply_transition(
+                transition.old_digest,
+                transition.new_digest,
+                transition.root,
+                transition.aggregate,
+                transition.signer_ids,
+                getattr(transition, "shard", 0),
+                getattr(transition, "num_shards", 1),
+            )
 
     # -- recovery (step Ð of Figure 3) ---------------------------------------------
     def decrypt_share(self, request: DecryptShareRequest) -> ElGamalCiphertext:
@@ -305,12 +493,49 @@ class HsmDevice:
                 raise HsmRefusedError(
                     f"HSM {self.index}: attempt {attempt_no} exceeds the per-user limit"
                 )
-            # (1) the recovery attempt is in the log the HSM trusts
+            # (1) the recovery attempt is in the log the HSM trusts.  The
+            # device verifies against the digest *it* tracks for the
+            # identifier's shard — never against digests the proof claims —
+            # and recomputes the shard routing itself, so a proof can never
+            # shop an identifier into a foreign lane.
+            proof = request.inclusion_proof
+            num_shards = len(self._shard_digests)
+            if isinstance(proof, ShardedInclusionProof):
+                if proof.num_shards != num_shards:
+                    raise HsmStaleProofError(
+                        f"HSM {self.index}: proof is for a {proof.num_shards}-shard "
+                        f"log, I track {num_shards} shard(s) (refresh the proof)"
+                    )
+                if proof.shard != shard_of(request.log_identifier, num_shards):
+                    raise HsmRefusedError(
+                        f"HSM {self.index}: identifier does not route to shard "
+                        f"{proof.shard}"
+                    )
+                # Off-committee lanes are adopted lazily: verify any offered
+                # quorum-signed transitions for this shard before judging
+                # the proof against it.
+                if proof.shard in self._pending_foreign:
+                    try:
+                        self._sync_shard(proof.shard)
+                    except LogUpdateRejected as exc:
+                        raise HsmRefusedError(
+                            f"HSM {self.index}: offered log transition invalid: {exc}"
+                        ) from exc
+                trusted_digest = self._shard_digests[proof.shard]
+                inner_proof = proof.inclusion
+            else:
+                if num_shards != 1:
+                    raise HsmStaleProofError(
+                        f"HSM {self.index}: unsharded proof against a "
+                        f"{num_shards}-shard log (refresh the proof)"
+                    )
+                trusted_digest = self._shard_digests[0]
+                inner_proof = proof
             if not verify_includes(
-                self._log_digest,
+                trusted_digest,
                 request.log_identifier,
                 request.commitment,
-                request.inclusion_proof,
+                inner_proof,
             ):
                 raise HsmStaleProofError(
                     f"HSM {self.index}: recovery attempt not proven against my"
@@ -380,7 +605,35 @@ class HsmDevice:
                 f"HSM {self.index}: garbage-collection budget exhausted"
             )
         self.garbage_collections_seen += 1
-        self._log_digest = empty_digest()
+        self._shard_digests = [empty_digest()] * len(self._shard_digests)
+        with self._offer_lock:
+            self._pending_foreign = {}
+
+    # -- resharding (one-way provisioning step) -------------------------------------------
+    def accept_reshard(self, num_shards: int) -> None:
+        """Consent to the log migrating onto ``num_shards`` parallel lanes.
+
+        Strictly one-way and single-shot: only an unsharded device may
+        accept, so the provider cannot repeatedly reshuffle identifiers
+        between lanes (re-routing is what would reopen write-once).  The
+        device restarts every lane at the empty digest and then audits the
+        migrated content through ordinary epochs; completeness of the
+        migration (nothing dropped) is an external-auditor check, the same
+        trust class as garbage collection.
+        """
+        self._check_alive()
+        if num_shards < 2:
+            raise HsmRefusedError(
+                f"HSM {self.index}: resharding needs >= 2 shards, got {num_shards}"
+            )
+        if len(self._shard_digests) != 1:
+            raise HsmRefusedError(
+                f"HSM {self.index}: already tracking {len(self._shard_digests)} "
+                "shards; resharding is one-way"
+            )
+        self._shard_digests = [empty_digest()] * num_shards
+        with self._offer_lock:
+            self._pending_foreign = {}
 
     # -- compromise (tests only) --------------------------------------------------------------
     def extract_secrets(self) -> StolenSecrets:
@@ -393,5 +646,5 @@ class HsmDevice:
             index=self.index,
             bfe_secret=self._bfe_secret,
             sig_secret=self._sig_keypair.secret,
-            log_digest=self._log_digest,
+            log_digest=self.log_digest,
         )

@@ -6,6 +6,16 @@ both digests, and checks the append-only relationship.  Auditors also let
 users *monitor* the log — the second purpose of the log in §6: a client can
 ask whether any recovery attempt has ever been filed under its username,
 detecting attacks on its backup even when the attacker knew the PIN.
+
+Sharded logs audit the same way per shard, anchored to the cross-shard
+root (``audit_sharded_snapshot``), and a reshard migration's completeness
+— the one property device-held digests cannot show — is checked offline
+from the archived unsharded log (``audit_reshard``).
+
+Thread safety: auditors are external observers working on snapshot copies
+(entry lists); they hold no locks and never touch live log state, so one
+auditor instance should not be shared across threads (it accumulates
+``checked_digests``) but any number may run in parallel on their own.
 """
 
 from __future__ import annotations
@@ -58,6 +68,65 @@ class ExternalAuditor:
             raise AuditFailure("new log does not have the old log as a prefix")
         self.audit_snapshot(old_entries, old_digest)
         self.audit_snapshot(new_entries, new_digest)
+
+    # -- sharded logs ---------------------------------------------------------
+    def audit_sharded_snapshot(
+        self,
+        shard_entries: Sequence[Sequence[Tuple[bytes, bytes]]],
+        claimed_root: bytes,
+    ) -> None:
+        """Audit a sharded log against its published cross-shard root.
+
+        Checks that (a) every entry lives on the shard its identifier
+        hashes to, (b) no identifier repeats anywhere in the partition, and
+        (c) replaying each shard and combining the digests reproduces the
+        claimed cross-shard root.  ``shard_entries[k]`` is shard ``k``'s
+        ordered entry list (``ShardedLog.shard_entries()``).
+        """
+        from repro.log.sharded import cross_shard_root, shard_of
+
+        num_shards = len(shard_entries)
+        seen = set()
+        for shard, entries in enumerate(shard_entries):
+            for identifier, _ in entries:
+                if shard_of(identifier, num_shards) != shard:
+                    raise AuditFailure(
+                        f"entry {identifier!r} is on shard {shard} but hashes "
+                        f"to shard {shard_of(identifier, num_shards)}"
+                    )
+                if identifier in seen:
+                    raise AuditFailure(f"duplicate identifier in log: {identifier!r}")
+                seen.add(identifier)
+        root = cross_shard_root(
+            [self.replay_digest(entries) for entries in shard_entries]
+        )
+        if root != claimed_root:
+            raise AuditFailure("shard contents do not match the published root")
+        self.checked_digests.append(claimed_root)
+
+    def audit_reshard(
+        self,
+        old_entries: Sequence[Tuple[bytes, bytes]],
+        shard_entries: Sequence[Sequence[Tuple[bytes, bytes]]],
+    ) -> None:
+        """Check a reshard migration for completeness.
+
+        The one property HSMs cannot verify from digests alone: the new
+        shard partition must be exactly the hash partition of the archived
+        unsharded log — nothing dropped, nothing added, order preserved
+        within each shard.  (``old_entries`` is the last archive in
+        ``ShardedLog.archived_logs`` after a migration.)
+        """
+        from repro.log.sharded import partition_entries
+
+        expected = partition_entries(old_entries, len(shard_entries))
+        for shard, (want, got) in enumerate(zip(expected, shard_entries)):
+            # Entries pending at migration time ride the genesis epochs like
+            # fresh insertions, so the old log's partition is a prefix.
+            if list(got[: len(want)]) != list(want):
+                raise AuditFailure(
+                    f"shard {shard} does not extend the hash partition of the old log"
+                )
 
     # -- user-facing monitoring ---------------------------------------------------
     @staticmethod

@@ -16,6 +16,11 @@ search path to the (empty) insertion position.  From it a verifier
 recomputes both the old root (position empty) and the new root (new leaf
 attached) — proving simultaneously that the identifier was absent and that
 the new digest is the old tree plus exactly this entry.
+
+Thread safety: none — :class:`AuthenticatedDictionary` is a plain mutable
+tree.  The serving layer serializes all access through the epoch batcher's
+lock (per shard, a lane is the only writer); the verifier-side functions
+at the bottom are pure and safe anywhere.
 """
 
 from __future__ import annotations
@@ -106,6 +111,7 @@ class AuthenticatedDictionary:
     # -- basic state -------------------------------------------------------
     @property
     def digest(self) -> bytes:
+        """The root hash: the constant-size commitment HSMs hold."""
         return self._root.hash if self._root else _EMPTY
 
     def __len__(self) -> int:
@@ -115,9 +121,11 @@ class AuthenticatedDictionary:
         return identifier in self._entries
 
     def get(self, identifier: bytes) -> Optional[bytes]:
+        """The value logged under ``identifier``, or None."""
         return self._entries.get(identifier)
 
     def items(self) -> Iterable[Tuple[bytes, bytes]]:
+        """All committed ``(identifier, value)`` pairs (arbitrary order)."""
         return self._entries.items()
 
     # -- search helpers ----------------------------------------------------------
@@ -261,4 +269,5 @@ def verify_extension(
 
 
 def empty_digest() -> bytes:
+    """The digest of the empty log (every device's genesis state)."""
     return _EMPTY

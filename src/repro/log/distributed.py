@@ -21,6 +21,21 @@ With at most an ``f_secret`` fraction compromised and ``C = λ`` audited
 chunks each, the probability that a bad chunk escapes every honest auditor
 is ``exp((2·f_secret − 1)·C)`` (§6.2) — about ``2^-128`` at the paper's
 parameters.
+
+Sharding (``repro.log.sharded``) runs one instance of this protocol per
+shard: a :class:`DistributedLog` then carries a ``shard_index`` within a
+``num_shards``-way partition, every round and certified transition is
+stamped with both, and the signed transition message is domain-separated by
+shard so a quorum's endorsement of shard *k* can never be replayed against
+shard *j* (all shards start from the same empty digest).  ``num_shards=1``
+keeps the exact legacy message bytes, so metered costs for unsharded
+deployments are unchanged.
+
+Thread safety: a :class:`DistributedLog` is *not* internally synchronized —
+callers must serialize access (the serving layer holds
+``EpochBatcher.lock`` around every log mutation; under
+:class:`~repro.log.sharded.ShardedLog`, concurrent epoch lanes are safe
+only because each lane touches a distinct shard instance).
 """
 
 from __future__ import annotations
@@ -55,15 +70,19 @@ class MultiSigScheme:
     name = "abstract"
 
     def keygen(self, rng=None):
+        """Generate one signer's keypair."""
         raise NotImplementedError
 
     def sign(self, secret, message: bytes):
+        """Sign ``message`` with one signer's secret."""
         raise NotImplementedError
 
     def aggregate(self, signatures: Sequence):
+        """Combine per-signer signatures into one aggregate."""
         raise NotImplementedError
 
     def verify_aggregate(self, publics: Sequence, message: bytes, aggregate) -> bool:
+        """Check that every listed public key's signer signed ``message``."""
         raise NotImplementedError
 
 
@@ -73,12 +92,15 @@ class EcdsaMultiSig(MultiSigScheme):
     name = "ecdsa-list"
 
     def keygen(self, rng=None) -> ECKeyPair:
+        """A fresh P-256 keypair."""
         return P256.keygen(rng)
 
     def sign(self, secret: int, message: bytes) -> Tuple[int, int]:
+        """One ECDSA signature (r, s)."""
         return P256.ecdsa_sign(secret, message)
 
     def aggregate(self, signatures: Sequence[Tuple[int, int]]):
+        """The "aggregate" is simply the tuple of signatures."""
         return tuple(signatures)
 
     def verify_aggregate(self, publics, message: bytes, aggregate) -> bool:
@@ -104,15 +126,19 @@ class BlsMultiSig(MultiSigScheme):
     name = "bls"
 
     def keygen(self, rng=None) -> blssig.BlsKeyPair:
+        """A fresh BLS12-381 keypair."""
         return blssig.keygen(rng)
 
     def sign(self, secret: int, message: bytes) -> blssig.BlsSignature:
+        """One BLS signature (a G1 point)."""
         return blssig.sign(secret, message)
 
     def aggregate(self, signatures: Sequence[blssig.BlsSignature]) -> blssig.BlsSignature:
+        """Sum the signatures into one constant-size aggregate."""
         return blssig.aggregate_signatures(signatures)
 
     def verify_aggregate(self, publics, message: bytes, aggregate) -> bool:
+        """Two pairings, regardless of the number of signers."""
         pks = [
             pk.public if isinstance(pk, blssig.BlsKeyPair) else pk for pk in publics
         ]
@@ -192,6 +218,7 @@ class ChunkPackage:
     def build(
         index: int, start_digest: bytes, end_digest: bytes, proofs: Sequence[InsertionProof]
     ) -> "ChunkPackage":
+        """Build a package, hashing the proofs into its committed header."""
         proofs = tuple(proofs)
         serialized = _serialize_proofs(proofs)
         header = ChunkHeader(
@@ -205,6 +232,7 @@ class ChunkPackage:
         return package
 
     def proofs_consistent(self) -> bool:
+        """Do the attached proofs really hash to the committed header?"""
         # The hash is always recomputed (auditors must re-check it); only
         # the serialization is cached, keeping sha256_block counts exact.
         return self.header.proofs_hash == sha256(
@@ -219,6 +247,29 @@ class ChunkPackage:
 def transition_message(old_digest: bytes, new_digest: bytes, root: bytes) -> bytes:
     """The message every HSM signs: the tuple (d, d', R)."""
     return sha256(b"log-transition", old_digest, new_digest, root)
+
+
+def shard_transition_message(
+    shard: int, num_shards: int, old_digest: bytes, new_digest: bytes, root: bytes
+) -> bytes:
+    """The signed transition message, domain-separated by shard lane.
+
+    All shards of a sharded log start from the same empty digest, so without
+    the ``(shard, num_shards)`` binding a quorum's endorsement of shard k's
+    first epoch would verify against shard j too.  ``num_shards == 1``
+    reproduces the legacy unsharded message byte-for-byte, keeping metered
+    ``sha256_block`` counts for unsharded deployments unchanged.
+    """
+    if num_shards == 1:
+        return transition_message(old_digest, new_digest, root)
+    return sha256(
+        b"log-transition-shard",
+        shard.to_bytes(4, "big"),
+        num_shards.to_bytes(4, "big"),
+        old_digest,
+        new_digest,
+        root,
+    )
 
 
 def audit_chunk_indices(
@@ -267,6 +318,7 @@ class LogConfig:
     quorum_fraction: float = 0.9  # fraction of known HSMs that must sign
     max_garbage_collections: int = 24  # HSMs refuse further GCs after this
     max_attempts_per_user: int = 5  # recovery attempts allowed per user per log
+    num_shards: int = 1  # >1 partitions the log into independent epoch lanes
 
 
 @dataclass(frozen=True)
@@ -278,6 +330,8 @@ class CertifiedTransition:
     root: bytes
     aggregate: object
     signer_ids: Tuple[int, ...]
+    shard: int = 0  # which shard lane this transition belongs to
+    num_shards: int = 1  # sharding arity the signature is bound to
 
 
 @dataclass
@@ -295,11 +349,15 @@ class UpdateRound:
     num_chunks: int
     chunks: List[ChunkPackage]
     tree: MerkleTree
+    shard: int = 0  # which shard lane proposed this round
+    num_shards: int = 1  # sharding arity (1 = legacy unsharded log)
 
     def chunk_with_proof(self, index: int) -> Tuple[ChunkPackage, MerkleProof]:
+        """Serve one chunk plus its Merkle inclusion proof under R."""
         return self.chunks[index], self.tree.prove(index)
 
     def header_with_proof(self, index: int) -> Tuple[ChunkHeader, MerkleProof]:
+        """Serve just a chunk's (small) header plus its proof under R."""
         return self.chunks[index].header, self.tree.prove(index)
 
 
@@ -311,8 +369,18 @@ class DistributedLog:
     replay stale digests, and the HSM-side checks must catch every attempt.
     """
 
-    def __init__(self, config: Optional[LogConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[LogConfig] = None,
+        shard_index: int = 0,
+        num_shards: int = 1,
+    ) -> None:
+        if not (0 <= shard_index < num_shards):
+            raise ValueError("need 0 <= shard_index < num_shards")
         self.config = config or LogConfig()
+        #: position of this log within a sharded partition (0 of 1 = legacy)
+        self.shard_index = shard_index
+        self.num_shards = num_shards
         self.dict = AuthenticatedDictionary()
         self.ordered_entries: List[Tuple[bytes, bytes]] = []
         self.pending = []
@@ -350,13 +418,16 @@ class DistributedLog:
         self._pending_ids.add(identifier)
 
     def get(self, identifier: bytes) -> Optional[bytes]:
+        """The committed value for ``identifier``, or None."""
         return self.dict.get(identifier)
 
     @property
     def digest(self) -> bytes:
+        """The current committed digest (what honest devices converge to)."""
         return self.dict.digest
 
     def prove_includes(self, identifier: bytes, value: bytes):
+        """Inclusion proof against the current digest; None if absent."""
         return self.dict.prove_includes(identifier, value)
 
     # -- the Figure 5 update round ------------------------------------------------
@@ -391,6 +462,8 @@ class DistributedLog:
             num_chunks=num_chunks,
             chunks=chunks,
             tree=tree,
+            shard=self.shard_index,
+            num_shards=self.num_shards,
         )
         self.epoch += 1
         self.round_history.append((old_digest, self.dict.digest, tree.root))
@@ -431,13 +504,23 @@ class DistributedLog:
         self.epoch -= 1
         self.round_history.pop()
 
+    def _device_digest(self, hsm) -> bytes:
+        """The device's digest for *this* log's shard lane.
+
+        Sharded devices track one digest per shard; unsharded devices (and
+        duck-typed test doubles) expose the single ``log_digest``.
+        """
+        if self.num_shards > 1:
+            return hsm.shard_digest(self.shard_index)
+        return hsm.log_digest
+
     def certify_round(self, round_: UpdateRound, hsms: Sequence) -> None:
         """Collect audits + signatures for an already-prepared round."""
         online = [h for h in hsms if not h.is_failed]
         # HSMs that rejoined after missing rounds first replay the chain of
         # certified transitions from their stale digest to the current one.
         for hsm in online:
-            if hsm.log_digest != round_.old_digest:
+            if self._device_digest(hsm) != round_.old_digest:
                 self.catch_up(hsm)
         signatures = []
         signer_ids = []
@@ -483,6 +566,8 @@ class DistributedLog:
             root=round_.root,
             aggregate=aggregate,
             signer_ids=tuple(signer_ids),
+            shard=round_.shard,
+            num_shards=round_.num_shards,
         )
         self.certified_transitions.append(transition)
         try:
@@ -533,7 +618,7 @@ class DistributedLog:
         chain = self.certified_transitions
         position = None
         for i, transition in enumerate(chain):
-            if transition.old_digest == hsm.log_digest:
+            if transition.old_digest == self._device_digest(hsm):
                 position = i
                 break
         if position is None:

@@ -14,6 +14,11 @@ provider can never silently swap the advertised key for that slot.  Clients
 verify every entry of a downloaded mpk against the latest logged event and
 can flag bulk replacement (e.g. the provider replacing most of the fleet in
 a day — the paper's example of a suspicious change).
+
+Thread safety: :class:`MembershipRegistry` is provisioning/maintenance
+machinery driven from one thread at a time (deployment creation, key
+rotation); it is not locked.  :class:`MembershipVerifier` is all static
+pure functions over entry snapshots and is safe anywhere.
 """
 
 from __future__ import annotations
@@ -39,9 +44,11 @@ class MembershipEvent:
     key_commitment: bytes  # the HSM's BFE public-key Merkle root (or b"")
 
     def identifier(self) -> bytes:
+        """The event's log identifier (write-once, sequence-numbered)."""
         return _PREFIX + str(self.sequence).encode("ascii")
 
     def value(self) -> bytes:
+        """The event's log value: action|index|epoch|key-commitment."""
         return b"|".join(
             [
                 self.action.encode("ascii"),
@@ -53,6 +60,7 @@ class MembershipEvent:
 
     @staticmethod
     def parse(identifier: bytes, value: bytes) -> "MembershipEvent":
+        """Inverse of ``identifier()``/``value()``; ValueError if malformed."""
         if not identifier.startswith(_PREFIX):
             raise ValueError("not a membership identifier")
         sequence = int(identifier[len(_PREFIX):])
@@ -78,7 +86,12 @@ class MembershipRegistry:
         self._log = log
         self._sequence = 0
 
+    def rebind(self, log) -> None:
+        """Point the registry at a replacement log (e.g. after resharding)."""
+        self._log = log
+
     def record(self, action: str, hsm_index: int, key_epoch: int, key_commitment: bytes) -> MembershipEvent:
+        """Queue one membership event as a pending log insertion."""
         event = MembershipEvent(
             sequence=self._sequence,
             action=action,
@@ -96,6 +109,7 @@ class MembershipRegistry:
             self.record(ADD, info.index, info.key_epoch, info.bfe_public.commitment)
 
     def record_rotation(self, info) -> None:
+        """Log an HSM's key rotation (its new public-key commitment)."""
         self.record(ROTATE, info.index, info.key_epoch, info.bfe_public.commitment)
 
 
@@ -108,6 +122,7 @@ class MembershipVerifier:
 
     @staticmethod
     def events_from_log(entries: Sequence[Tuple[bytes, bytes]]) -> List[MembershipEvent]:
+        """Extract and order the membership events among log entries."""
         events = []
         for identifier, value in entries:
             if identifier.startswith(_PREFIX):

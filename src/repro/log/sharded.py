@@ -1,0 +1,390 @@
+"""Sharded transparency log: S independent digest chains, one anchor root.
+
+The paper's deployment point is millions of users behind *one* log, whose
+update epoch is inherently serial: every insertion rides one digest chain
+and every HSM audits one round.  ``ShardedLog`` partitions the log into
+``S`` independent :class:`~repro.log.distributed.DistributedLog` shards —
+an insertion is routed by a stable hash of its identifier
+(:func:`shard_of`), each shard runs the full Figure 5 protocol on its own
+digest chain, certified by its own *committee* (the ``N/S`` devices with
+``index ≡ shard (mod S)``), and shard epochs never contend with each
+other: committees are disjoint, so ``S`` lanes drive disjoint device sets
+in parallel (see ``repro.service.batcher.EpochBatcher``), and each device
+verifies aggregates of ``N/S`` signatures instead of ``N``.  Devices off a
+shard's committee adopt its quorum-signed transitions *lazily*
+(``HsmDevice.offer_certified_transition``), keeping the epoch's critical
+path free of fleet-wide fan-out.  This is the partitioning move of
+datacenter-scale designs (XOS-style state sharding): independent lanes,
+deterministic placement, and a thin combining layer.
+
+Auditors and proofs still anchor to **one value**: the *cross-shard root*,
+a Merkle root over the ordered shard digests
+(:func:`cross_shard_root`).  An inclusion proof becomes a
+:class:`ShardedInclusionProof` — the per-shard BST proof plus the Merkle
+path from that shard's digest leaf to the root — so any verifier holding
+only the root can check membership (:func:`verify_includes_sharded`),
+while an HSM that tracks the per-shard digests directly verifies against
+its own copy of the shard digest and recomputes the identifier's shard
+itself (write-once stays intact: an identifier maps to exactly one shard,
+so no value can be re-logged in a sibling lane).
+
+Security note on write-once: because ``shard_of`` is a public deterministic
+function of the identifier and ``num_shards``, the per-shard duplicate
+check *is* the global duplicate check — there is no cross-shard race.  The
+shard count is therefore part of the trusted configuration: HSMs bind
+``(shard, num_shards)`` into every signed transition
+(:func:`~repro.log.distributed.shard_transition_message`) and refuse
+rounds whose arity differs from their own.  Committee certification sizes
+the quorum to the committee, so the ``f_secret`` compromise bound applies
+per ``N/S``-device committee rather than fleet-wide — deployments pick
+``S`` accordingly (extra signatures from off-committee auditors only add
+scrutiny; they are never required).
+
+Thread safety: individual shards are plain (unsynchronized)
+``DistributedLog`` instances.  Concurrent use is safe only under the
+one-lane-per-shard discipline: at most one thread drives
+``run_shard_update(k, ...)`` for a given ``k`` at a time, and client-facing
+mutation (``insert``/``prove_includes``/``pending``) is serialized by the
+caller (the serving layer holds ``EpochBatcher.lock``).  ``digest`` only
+reads each shard's current digest and may race benignly with a committing
+lane — callers that need a settled root read it after joining the lanes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import sha256
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.log.authdict import (
+    AuthenticatedDictionary,
+    InclusionProof,
+    verify_includes,
+)
+from repro.log.distributed import DistributedLog, LogConfig, LogUpdateRejected
+
+
+def shard_of(identifier: bytes, num_shards: int) -> int:
+    """Stable shard routing: a public hash of the identifier.
+
+    ``num_shards == 1`` short-circuits without hashing, so unsharded
+    deployments meter zero extra ``sha256_block`` work.
+    """
+    if num_shards <= 1:
+        return 0
+    draw = int.from_bytes(sha256(b"log-shard", identifier)[:8], "big")
+    return draw % num_shards
+
+
+def shard_leaf(shard: int, digest: bytes) -> bytes:
+    """Canonical leaf committing shard ``shard``'s digest under the root."""
+    return shard.to_bytes(4, "big") + digest
+
+
+def cross_shard_root(digests: Sequence[bytes]) -> bytes:
+    """The one value everything anchors to: Merkle over the shard digests."""
+    return MerkleTree([shard_leaf(i, d) for i, d in enumerate(digests)]).root
+
+
+@dataclass(frozen=True)
+class ShardedInclusionProof:
+    """Inclusion proof for a sharded log, anchored to the cross-shard root.
+
+    ``inclusion`` proves ``(identifier, value)`` under ``shard_digest`` (the
+    ordinary Merkle-BST proof); ``shard_path`` proves that
+    ``shard_leaf(shard, shard_digest)`` is leaf ``shard`` under the
+    cross-shard root.  HSMs, which track the shard digests themselves,
+    verify ``inclusion`` directly against their own copy; root-only
+    verifiers (clients, auditors) use :func:`verify_includes_sharded`.
+    """
+
+    shard: int
+    num_shards: int
+    shard_digest: bytes
+    shard_path: MerkleProof
+    inclusion: InclusionProof
+
+
+def verify_includes_sharded(
+    root: bytes, identifier: bytes, value: bytes, proof: ShardedInclusionProof
+) -> bool:
+    """DoesInclude against the cross-shard root alone.
+
+    Checks (a) the identifier really routes to the claimed shard, (b) the
+    BST proof verifies under the claimed shard digest, and (c) the claimed
+    shard digest is committed at leaf ``shard`` under ``root``.
+    """
+    if proof.num_shards < 2 or not (0 <= proof.shard < proof.num_shards):
+        return False
+    if shard_of(identifier, proof.num_shards) != proof.shard:
+        return False
+    if not verify_includes(proof.shard_digest, identifier, value, proof.inclusion):
+        return False
+    if proof.shard_path.index != proof.shard:
+        return False
+    return MerkleTree.verify(
+        root, shard_leaf(proof.shard, proof.shard_digest), proof.shard_path
+    )
+
+
+class _CombinedDictView:
+    """Read-only union of the shard dictionaries (``provider.log.dict``)."""
+
+    def __init__(self, sharded: "ShardedLog") -> None:
+        self._sharded = sharded
+
+    def __len__(self) -> int:
+        return sum(len(s.dict) for s in self._sharded.shards)
+
+    def __contains__(self, identifier: bytes) -> bool:
+        return identifier in self._sharded.shard_for(identifier).dict
+
+    def get(self, identifier: bytes) -> Optional[bytes]:
+        return self._sharded.shard_for(identifier).dict.get(identifier)
+
+    def items(self) -> Iterable[Tuple[bytes, bytes]]:
+        for shard in self._sharded.shards:
+            yield from shard.dict.items()
+
+
+class ShardedLog:
+    """``S`` parallel epoch lanes behind the ``DistributedLog`` interface.
+
+    Drop-in for ``provider.log``: the client-facing surface (``insert``,
+    ``get``, ``digest``, ``pending``, ``prove_includes``, ``dict``,
+    ``run_update``, ``garbage_collect``) matches ``DistributedLog``, with
+    ``digest`` meaning the cross-shard root and ``prove_includes``
+    returning :class:`ShardedInclusionProof`.  Like ``DistributedLog``,
+    this class is *untrusted* in the threat model.
+    """
+
+    def __init__(self, config: Optional[LogConfig] = None, num_shards: Optional[int] = None) -> None:
+        self.config = config or LogConfig()
+        self.num_shards = num_shards if num_shards is not None else self.config.num_shards
+        if self.num_shards < 2:
+            raise ValueError(
+                "ShardedLog needs >= 2 shards (an unsharded log IS DistributedLog)"
+            )
+        self.shards: List[DistributedLog] = [
+            DistributedLog(self.config, shard_index=k, num_shards=self.num_shards)
+            for k in range(self.num_shards)
+        ]
+        self.dict = _CombinedDictView(self)
+        self.garbage_collections = 0
+        self.archived_logs: List[List[Tuple[bytes, bytes]]] = []
+
+    # -- routing ---------------------------------------------------------------
+    def shard_for(self, identifier: bytes) -> DistributedLog:
+        """The shard instance an identifier hashes to."""
+        return self.shards[shard_of(identifier, self.num_shards)]
+
+    def shards_with_pending(self) -> List[int]:
+        """Indices of shards holding queued insertions (lane work list)."""
+        return [k for k, shard in enumerate(self.shards) if shard.pending]
+
+    # -- client-facing (DistributedLog surface) --------------------------------
+    def insert(self, identifier: bytes, value: bytes) -> None:
+        """Queue an insertion on the identifier's shard lane."""
+        self.shard_for(identifier).insert(identifier, value)
+
+    def get(self, identifier: bytes) -> Optional[bytes]:
+        """The committed value for ``identifier``, or None."""
+        return self.shard_for(identifier).get(identifier)
+
+    @property
+    def digest(self) -> bytes:
+        """The cross-shard root: the single anchor for proofs and audits."""
+        return cross_shard_root([s.digest for s in self.shards])
+
+    @property
+    def shard_digests(self) -> List[bytes]:
+        """Every shard's current digest, in shard order (the root's leaves)."""
+        return [s.digest for s in self.shards]
+
+    @property
+    def pending(self) -> List[Tuple[bytes, bytes]]:
+        """All queued insertions, shard-major (each shard's order intact)."""
+        return [entry for shard in self.shards for entry in shard.pending]
+
+    @pending.setter
+    def pending(self, entries: Sequence[Tuple[bytes, bytes]]) -> None:
+        buckets: List[List[Tuple[bytes, bytes]]] = [[] for _ in self.shards]
+        for identifier, value in entries:
+            buckets[shard_of(identifier, self.num_shards)].append((identifier, value))
+        for shard, bucket in zip(self.shards, buckets):
+            shard.pending = bucket
+
+    @property
+    def ordered_entries(self) -> List[Tuple[bytes, bytes]]:
+        """Committed entries, shard-major (the auditable public log)."""
+        return [entry for shard in self.shards for entry in shard.ordered_entries]
+
+    @property
+    def epoch(self) -> int:
+        """Total shard epochs committed (observability; lanes count singly)."""
+        return sum(s.epoch for s in self.shards)
+
+    @property
+    def certified_transitions(self):
+        """Every shard's quorum-signed chain, shard-major."""
+        return [t for shard in self.shards for t in shard.certified_transitions]
+
+    def shard_entries(self) -> List[List[Tuple[bytes, bytes]]]:
+        """Per-shard ordered entry lists (what a sharded audit replays)."""
+        return [list(shard.ordered_entries) for shard in self.shards]
+
+    def prove_includes(
+        self, identifier: bytes, value: bytes
+    ) -> Optional[ShardedInclusionProof]:
+        """Root-anchored inclusion proof; None if not committed yet."""
+        shard_index = shard_of(identifier, self.num_shards)
+        inner = self.shards[shard_index].prove_includes(identifier, value)
+        if inner is None:
+            return None
+        digests = self.shard_digests
+        tree = MerkleTree([shard_leaf(i, d) for i, d in enumerate(digests)])
+        return ShardedInclusionProof(
+            shard=shard_index,
+            num_shards=self.num_shards,
+            shard_digest=digests[shard_index],
+            shard_path=tree.prove(shard_index),
+            inclusion=inner,
+        )
+
+    # -- epochs ----------------------------------------------------------------
+    def committee(self, shard_index: int, hsms: Sequence) -> List:
+        """The devices certifying this shard: index ≡ shard (mod S).
+
+        Static committees are what make lanes contention-free: each lane's
+        epoch touches only its own N/S devices, so S lanes drive disjoint
+        device sets in parallel, and each device verifies aggregates of
+        N/S signatures instead of N.  Devices compute the same partition
+        from their signer directory (``HsmDevice.committee_for``) and size
+        the quorum to the committee.
+        """
+        return [h for h in hsms if h.index % self.num_shards == shard_index]
+
+    def run_shard_update(self, shard_index: int, hsms: Sequence) -> None:
+        """One transactional update epoch on a single shard lane.
+
+        Exactly ``DistributedLog.run_update`` semantics, run against the
+        shard's *committee*: a failed epoch rolls back this shard only and
+        re-queues its insertions; sibling lanes are untouched.  After the
+        committee certifies, each off-committee device is *offered* (cheap,
+        unverified, lock-guarded enqueue — no FIFO round-trip, no crypto)
+        the chain suffix past its ``offered_frontier``, so a device that
+        shed offers (queue overflow, dropped forgery) is re-fed the missing
+        transitions next epoch instead of being stranded; devices verify
+        the quorum signature lazily on first use.  Safe to call
+        concurrently for distinct shards: committees are disjoint, and the
+        offer queue is the device's only cross-lane state.
+        """
+        shard = self.shards[shard_index]
+        shard.run_update(self.committee(shard_index, hsms))
+        chain = shard.certified_transitions
+        if not chain:
+            return
+        for hsm in hsms:
+            if hsm.index % self.num_shards == shard_index:
+                continue
+            frontier = hsm.offered_frontier(shard_index)
+            if frontier == chain[-1].new_digest:
+                continue  # already current (or fully queued)
+            # Walk back to the device's frontier; offer everything after it.
+            start = 0
+            for position in range(len(chain) - 1, -1, -1):
+                if chain[position].old_digest == frontier:
+                    start = position
+                    break
+            for transition in chain[start:]:
+                hsm.offer_certified_transition(transition)
+
+    def run_update(self, hsms: Sequence) -> None:
+        """Run every shard with queued work, one lane at a time.
+
+        This is the sequential (caller-thread) driver used outside the
+        serving layer — deployment provisioning, maintenance epochs, tests.
+        Every lane is attempted; per-shard failures roll back only their
+        shard, and the first failure is re-raised after all lanes ran so a
+        bad shard cannot block its siblings' commits.
+        """
+        failures: List[Tuple[int, Exception]] = []
+        for k in self.shards_with_pending():
+            try:
+                self.run_shard_update(k, hsms)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                failures.append((k, exc))
+        if failures:
+            shard, first = failures[0]
+            if len(failures) == 1:
+                raise first
+            raise LogUpdateRejected(
+                f"{len(failures)} shard epochs failed (first: shard {shard}: {first!r})"
+            ) from first
+
+    # -- garbage collection ----------------------------------------------------
+    def garbage_collect(self, hsms: Sequence) -> None:
+        """Reset all shards as one logical GC (devices consent once each).
+
+        Mirrors ``DistributedLog.garbage_collect``: the combined log is
+        archived for auditors, every online HSM's (bounded) GC budget is
+        charged exactly one unit, and all shard chains restart empty.
+        """
+        self.archived_logs.append(self.ordered_entries)
+        for hsm in hsms:
+            if not hsm.is_failed:
+                hsm.accept_garbage_collection()
+        for shard in self.shards:
+            shard.dict = AuthenticatedDictionary()
+            shard.ordered_entries = []
+            shard.pending = []
+        self.garbage_collections += 1
+
+    # -- migration from an unsharded log ----------------------------------------
+    @staticmethod
+    def migrate(log: DistributedLog, num_shards: int, hsms: Sequence) -> "ShardedLog":
+        """One-way migration of a live unsharded log onto ``num_shards`` lanes.
+
+        Every committed entry is re-routed to its hash shard (order
+        preserved within each shard) and re-certified through ordinary
+        genesis epochs: each device first consents via
+        ``accept_reshard`` (one-way — a device that is already sharded
+        refuses), then audits every shard's full content from the empty
+        digest exactly as it audits any epoch.  What devices *cannot*
+        check is completeness — that no pre-migration entry was dropped —
+        which is the same (bounded, auditable) trust class as garbage
+        collection; :meth:`repro.log.auditor.ExternalAuditor.audit_reshard`
+        verifies it offline from the archived unsharded log.
+
+        Requires the whole fleet online: resharding is a provisioning
+        operation, and a device that missed it could never rejoin (its
+        single-digest state matches no shard chain).
+        """
+        config = dataclasses.replace(log.config, num_shards=num_shards)
+        offline = [h for h in hsms if h.is_failed]
+        if offline:
+            raise LogUpdateRejected(
+                f"resharding needs the full fleet online ({len(offline)} failed)"
+            )
+        if num_shards > len(list(hsms)):
+            raise ValueError("more shards than devices: some committees would be empty")
+        sharded = ShardedLog(config)
+        for hsm in hsms:
+            hsm.accept_reshard(num_shards)
+        sharded.pending = list(log.ordered_entries) + list(log.pending)
+        sharded.run_update(hsms)
+        sharded.garbage_collections = log.garbage_collections
+        sharded.archived_logs = list(log.archived_logs) + [list(log.ordered_entries)]
+        return sharded
+
+
+def partition_entries(
+    entries: Sequence[Tuple[bytes, bytes]], num_shards: int
+) -> List[List[Tuple[bytes, bytes]]]:
+    """Order-preserving hash partition (the reference for reshard audits)."""
+    buckets: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(num_shards)]
+    for identifier, value in entries:
+        buckets[shard_of(identifier, num_shards)].append((identifier, value))
+    return buckets

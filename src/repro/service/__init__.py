@@ -2,7 +2,7 @@
 
 The core protocol modules (``repro.core``) implement *one* backup or
 recovery faithfully; this package makes many of them happen at once, the
-way the paper's deployment serves millions of users.  Three pieces:
+way the paper's deployment serves millions of users.  Four pieces:
 
 **Channel boundary** (:mod:`repro.service.channel`).  Clients reach HSMs
 only through a :class:`~repro.service.channel.Channel` — one
@@ -27,8 +27,20 @@ digest-exact, served sessions hold an *epoch lease* until their share
 phase ends; the next tick waits for leases to drain (bounded), and clients
 that straddle an epoch anyway refresh their proof and retry once.
 
-:class:`~repro.service.recovery.RecoveryService` assembles the three into
-the deployment's front end; ``Deployment.recovery_service()`` builds one.
+**Shard lanes** (also :mod:`repro.service.batcher`).  Over a sharded log
+(``repro.log.sharded``) a tick groups waiters by their identifier's shard
+and fans one epoch per shard out to a lane-worker pool, joining before the
+combined cross-shard root is published; a failed shard epoch rolls back
+and fails only its own tickets.
+
+:class:`~repro.service.recovery.RecoveryService` assembles the pieces into
+the deployment's front end; ``Deployment.recovery_service()`` builds one
+(pass ``shards=S`` for S lanes).
+
+Thread safety: this package *is* the concurrency layer — every class
+documents its own contract.  The rule of thumb: device and shard state is
+only ever touched from its FIFO worker; cross-session state lives behind
+the batcher's lock.
 """
 
 from repro.service.batcher import EpochBatcher, EpochTicket, ServiceTimeout

@@ -6,12 +6,30 @@ reproduces that rhythm: sessions ``submit`` their log insertion and block on
 an :class:`EpochTicket`; each ``tick`` commits exactly one update epoch for
 everything pending and fans the inclusion proofs back to every waiter.
 
+Over a :class:`~repro.log.sharded.ShardedLog` the batcher runs **one epoch
+lane per shard**: a tick groups the waiters by their identifier's shard,
+fans ``run_update`` out through the service's lane workers (one FIFO worker
+per shard, HsmWorkerPool discipline), joins all lanes, and only then
+publishes the combined cross-shard root.  Lanes fail independently — a
+shard whose epoch is rejected rolls back and fails *its* tickets only,
+while sibling lanes commit (the paper's transactional ``run_update``, per
+shard).
+
 Because inclusion proofs are digest-exact (Merkle BST), committing an epoch
 invalidates the proofs of sessions still mid-share-phase.  Each served
 session therefore holds an *epoch lease* until it reports its share phase
 done (``release``); a tick waits for outstanding leases to drain — bounded
 by ``lease_timeout`` so a crashed client cannot stall the log forever
-(abandoned sessions fall back to client-side proof refresh).
+(abandoned sessions fall back to client-side proof refresh).  (Leases are
+drained globally even in sharded mode; per-shard lease tracking would let
+untouched lanes tick early and is noted as future work.)
+
+Thread safety: all mutable state (waiters, leases, counters) is guarded by
+``self._lock`` / the ``_drained`` condition; ``tick`` holds it for the
+whole epoch, so out-of-band log reads may take ``batcher.lock`` to get a
+settled view.  Shard-lane fan-out happens *inside* a tick: concurrency is
+between lanes (distinct shards, per-device FIFO serialization), never
+between ticks.
 """
 
 from __future__ import annotations
@@ -19,9 +37,10 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Callable, Deque, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.provider import ProviderError, ServiceProvider
+from repro.log.sharded import shard_of
 
 #: Bound on the per-epoch history kept for observability/tests; aggregate
 #: counters (epochs_run, sessions_served, ...) are exact forever.
@@ -41,14 +60,17 @@ class EpochTicket:
         self._error: Optional[Exception] = None
 
     def resolve(self, result: Tuple[bytes, object]) -> None:
+        """Fulfil the ticket with ``(identifier, inclusion proof)``."""
         self._result = result
         self._done.set()
 
     def fail(self, error: Exception) -> None:
+        """Fail the ticket; ``wait`` re-raises ``error`` on the session."""
         self._error = error
         self._done.set()
 
     def wait(self, timeout: Optional[float] = None) -> Tuple[bytes, object]:
+        """Block until an epoch serves this ticket (or ``timeout`` lapses)."""
         if not self._done.wait(timeout):
             raise ServiceTimeout(
                 f"no log epoch committed within {timeout}s (is the ticker running?)"
@@ -67,12 +89,22 @@ class EpochBatcher:
         provider: ServiceProvider,
         lease_timeout: float = 10.0,
         run_epoch: Optional[Callable[[], None]] = None,
+        shard_runner: Optional[
+            Callable[[Sequence[int]], Dict[int, Optional[BaseException]]]
+        ] = None,
     ) -> None:
         """``run_epoch`` commits one log update; defaults to the provider's
         installed runner.  The service passes a runner that routes every
-        per-device protocol call through that device's FIFO worker."""
+        per-device protocol call through that device's FIFO worker.
+
+        ``shard_runner`` enables lane mode over a sharded log: called with
+        the shard indices that have work this tick, it must commit one
+        epoch per listed shard (typically in parallel lanes) and return a
+        per-shard outcome map (``None`` = committed, exception = that
+        shard failed and rolled back)."""
         self._provider = provider
         self._run_epoch = run_epoch or provider.run_log_update
+        self._shard_runner = shard_runner
         self._lease_timeout = lease_timeout
         self._lock = threading.Lock()
         self._drained = threading.Condition(self._lock)
@@ -111,6 +143,7 @@ class EpochBatcher:
         return ticket
 
     def pending_sessions(self) -> int:
+        """How many submitted sessions are waiting for the next tick."""
         with self._lock:
             return len(self._waiters)
 
@@ -135,6 +168,9 @@ class EpochBatcher:
             waiters, self._waiters = self._waiters, []
             if not waiters and not self._provider.log.pending:
                 return 0
+            num_shards = getattr(self._provider.log, "num_shards", 1)
+            if self._shard_runner is not None and num_shards > 1:
+                return self._tick_shard_lanes(waiters, num_shards)
             try:
                 self._run_epoch()
             except Exception as exc:
@@ -161,6 +197,47 @@ class EpochBatcher:
                 ticket.resolve((identifier, proof))
         return len(waiters)
 
+    def _tick_shard_lanes(self, waiters: List[Tuple], num_shards: int) -> int:
+        """One tick over a sharded log: fan out, join, publish one root.
+
+        Called with ``self._drained`` held (from :meth:`tick`).  Each shard
+        with queued work gets one epoch; a failed shard fails only the
+        tickets routed to it, and ``epochs_run``/``epoch_failures`` count
+        per shard epoch.  The combined cross-shard root is recorded once,
+        after every lane has settled.
+        """
+        log = self._provider.log
+        by_shard: Dict[int, List[Tuple]] = {}
+        for waiter in waiters:
+            by_shard.setdefault(shard_of(waiter[2], num_shards), []).append(waiter)
+        shards_to_run = sorted(set(by_shard) | set(log.shards_with_pending()))
+        outcomes = self._shard_runner(shards_to_run)
+        served = 0
+        for shard in shards_to_run:
+            error = outcomes.get(shard)
+            shard_waiters = by_shard.get(shard, [])
+            if error is not None:
+                self.epoch_failures += 1
+                failure = ProviderError(f"shard {shard} epoch failed: {error!r}")
+                failure.__cause__ = error
+                for *_, ticket in shard_waiters:
+                    ticket.fail(failure)
+                continue
+            self.epochs_run += 1
+            self.entries_committed += len(shard_waiters)
+            for username, attempt, identifier, commitment, ticket in shard_waiters:
+                proof = log.prove_includes(identifier, commitment)
+                if proof is None:  # pragma: no cover - insert guarantees presence
+                    ticket.fail(ProviderError("inclusion proof unavailable after epoch"))
+                    continue
+                self._leases.add((username, attempt))
+                self.sessions_served += 1
+                served += 1
+                ticket.resolve((identifier, proof))
+        self.epoch_sessions.append(served)
+        self.epoch_digests.append(log.digest)
+        return served
+
     def release(self, username: str, attempt: int) -> None:
         """Drop a session's epoch lease (its share phase is over)."""
         with self._drained:
@@ -169,5 +246,6 @@ class EpochBatcher:
                 self._drained.notify_all()
 
     def outstanding_leases(self) -> int:
+        """Sessions served by the last epoch and still mid-share-phase."""
         with self._lock:
             return len(self._leases)

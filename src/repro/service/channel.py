@@ -17,6 +17,11 @@ comb and per-key cached window tables in ``repro.crypto.ec`` — the channel
 turnaround (and therefore per-HSM queue drain rate in
 ``service.workers``) tracks those table-backed rates rather than the naive
 rebuild-per-call cost.
+
+Thread safety: channels are stateless pass-throughs (safe to share across
+threads); serialization of *device* state is not their job — wrap them
+with ``service.workers.queued_channels`` so every call lands on the
+device's single FIFO worker, as the service does.
 """
 
 from __future__ import annotations
@@ -60,6 +65,7 @@ class Channel:
     """Narrow interface between a client and one HSM."""
 
     def decrypt_share(self, request: DecryptShareRequest) -> ElGamalCiphertext:
+        """Ask the device to decrypt one share (raises on refusal)."""
         raise NotImplementedError
 
 
@@ -74,6 +80,7 @@ class DirectChannel(Channel):
         self._device = device
 
     def decrypt_share(self, request: DecryptShareRequest) -> ElGamalCiphertext:
+        """Call the device object directly (no serialization)."""
         return self._device.decrypt_share(request)
 
 
@@ -89,6 +96,7 @@ class HsmWireEndpoint:
         self._device = device
 
     def handle_decrypt_share(self, request_bytes: bytes) -> bytes:
+        """Decode, run the device, encode the outcome (reply or status)."""
         request = wire.decode_decrypt_request(request_bytes)
         try:
             reply = self._device.decrypt_share(request)
@@ -104,6 +112,7 @@ class WireChannel(Channel):
         self._endpoint = endpoint
 
     def decrypt_share(self, request: DecryptShareRequest) -> ElGamalCiphertext:
+        """Round-trip through bytes; re-raise error statuses client-side."""
         reply_bytes = self._endpoint.handle_decrypt_share(
             wire.encode_decrypt_request(request)
         )

@@ -18,6 +18,13 @@ run through the worker queues.  ``epoch_mode="per-request"`` keeps the
 seed's one-epoch-per-recovery behaviour (serializing sessions, since an
 epoch invalidates every other in-flight proof) — it exists so benchmarks
 can measure exactly what batching buys.
+
+Thread safety: the service is built to be hammered by many client threads
+at once.  All shared mutable state lives behind the batcher's lock, the
+provider's attempt-counter lock, the per-request slot condition, or a
+per-device/per-lane FIFO; devices and shard lanes never see two
+concurrent calls.  ``start``/``stop`` bracket the worker threads and are
+the only methods that must be externally serialized.
 """
 
 from __future__ import annotations
@@ -86,10 +93,12 @@ class BatchedProviderFacade:
 
     # -- attempt numbering ----------------------------------------------------
     def next_attempt_number(self, username: str) -> int:
+        """Atomically *reserve* a slot (concurrent sessions never collide)."""
         return self._provider.reserve_attempt_number(username)
 
     # -- the log, via the shared epoch ----------------------------------------
     def log_and_prove(self, username: str, attempt: int, commitment: bytes):
+        """Queue the insertion and block on the shared epoch's ticket."""
         service = self._service
         if service.epoch_mode == "per-request":
             service.acquire_session_slot(username, attempt)
@@ -110,10 +119,12 @@ class BatchedProviderFacade:
         return ticket.wait(service.session_timeout)
 
     def prove_inclusion(self, identifier: bytes, value: bytes):
+        """Fresh proof against the current digest (under the epoch lock)."""
         with self._service.batcher.lock:
             return self._provider.prove_inclusion(identifier, value)
 
     def share_phase_done(self, username: str, attempt: int) -> None:
+        """Release the session's epoch lease (or per-request slot)."""
         if self._service.epoch_mode == "per-request":
             self._service.release_session_slot(username, attempt)
         else:
@@ -121,12 +132,14 @@ class BatchedProviderFacade:
 
     # -- backup storage crosses the wire ---------------------------------------
     def upload_backup(self, username: str, ciphertext) -> int:
+        """Store a backup; the ciphertext round-trips through wire bytes."""
         blob = wire.encode_recovery_ciphertext(ciphertext)
         return self._provider.upload_backup(
             username, wire.decode_recovery_ciphertext(blob)
         )
 
     def fetch_backup(self, username: str, index: int = -1):
+        """Fetch a backup; the ciphertext round-trips through wire bytes."""
         ciphertext = self._provider.fetch_backup(username, index)
         return wire.decode_recovery_ciphertext(
             wire.encode_recovery_ciphertext(ciphertext)
@@ -155,9 +168,22 @@ class RecoveryService:
         self.epoch_mode = epoch_mode
         self.session_timeout = session_timeout
         self.pool = HsmWorkerPool(len(deployment.fleet), call_timeout=call_timeout)
+        self._call_timeout = call_timeout
         self._epoch_fleet = [_FifoDevice(self.pool, hsm) for hsm in deployment.fleet]
+        # One epoch lane per log shard: lane k is a FIFO worker that commits
+        # shard k's epochs, so a tick fans out across lanes and joins
+        # (unsharded logs keep the single caller-thread epoch path).
+        self.shard_lanes = getattr(self.provider.log, "num_shards", 1)
+        self._lane_pool: Optional[HsmWorkerPool] = (
+            HsmWorkerPool(self.shard_lanes, call_timeout=call_timeout)
+            if self.shard_lanes > 1
+            else None
+        )
         self.batcher = EpochBatcher(
-            self.provider, lease_timeout=lease_timeout, run_epoch=self.run_epoch
+            self.provider,
+            lease_timeout=lease_timeout,
+            run_epoch=self.run_epoch,
+            shard_runner=self.run_shard_epochs if self._lane_pool else None,
         )
         inner = (wire_channels if transport == "wire" else direct_channels)(
             deployment.fleet
@@ -177,7 +203,10 @@ class RecoveryService:
 
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> "RecoveryService":
+        """Start the worker pool, the shard lanes, and the epoch ticker."""
         self.pool.start()
+        if self._lane_pool is not None:
+            self._lane_pool.start()
         if self._ticker is None:
             self._stop.clear()
             self._ticker = threading.Thread(
@@ -187,10 +216,13 @@ class RecoveryService:
         return self
 
     def stop(self) -> None:
+        """Drain one final tick, then stop the ticker, lanes, and workers."""
         if self._ticker is not None:
             self._stop.set()
             self._ticker.join(timeout=self.session_timeout)
             self._ticker = None
+        if self._lane_pool is not None:
+            self._lane_pool.stop()
         self.pool.stop()
 
     def __enter__(self) -> "RecoveryService":
@@ -214,8 +246,45 @@ class RecoveryService:
         device's FIFO worker (the pool must be running)."""
         self.provider.log.run_update(self._epoch_fleet)
 
+    def run_shard_epochs(self, shards) -> dict:
+        """Fan one epoch per listed shard out to the lane workers and join.
+
+        Each lane commits its shard through ``ShardedLog.run_shard_update``
+        with device calls still FIFO-serialized per HSM, so concurrent
+        lanes interleave *across* devices but never within one.  Returns
+        the per-shard outcome map the batcher uses to fail only the
+        tickets of a rejected shard (that shard rolled itself back).
+        """
+        assert self._lane_pool is not None
+        if not self._lane_pool.running:  # manual-tick tests drive epochs
+            self._lane_pool.start()     # without start()ing the service
+        log = self.provider.log
+        jobs = {
+            shard: self._lane_pool.submit(
+                shard,
+                lambda shard=shard: log.run_shard_update(shard, self._epoch_fleet),
+            )
+            for shard in shards
+        }
+        # A lane epoch is a bounded number of device calls, each of which the
+        # device pool already times out after call_timeout — so a lane job
+        # always terminates (commit or rollback).  Join with a bound safely
+        # above any epoch's worst case: timing a lane out while it is still
+        # running would report "rolled back" for an epoch that then commits,
+        # silently burning the batch's attempt numbers.
+        join_timeout = self._call_timeout * (4 + 3 * len(self.deployment.fleet))
+        outcomes: dict = {}
+        for shard, job in jobs.items():
+            try:
+                self._lane_pool.result(job, timeout=join_timeout)
+                outcomes[shard] = None
+            except BaseException as exc:  # per-lane isolation, not control flow
+                outcomes[shard] = exc
+        return outcomes
+
     # -- per-request mode session slot ----------------------------------------
     def acquire_session_slot(self, username: str, attempt: int) -> None:
+        """Per-request mode: claim the one-session-at-a-time log slot."""
         deadline = time.monotonic() + self.session_timeout
         with self._slot_cv:
             while self._slot_owner is not None:
@@ -230,6 +299,7 @@ class RecoveryService:
             self._slot_owner = (username, attempt)
 
     def release_session_slot(self, username: str, attempt: int) -> None:
+        """Give the per-request slot back (idempotent; stale-safe)."""
         with self._slot_cv:
             # Owner check makes release idempotent and ignores a stale
             # release from a session whose slot was stolen.
@@ -255,8 +325,10 @@ class RecoveryService:
 
     # -- observability ---------------------------------------------------------
     def stats(self) -> dict:
+        """Counters for benchmarks and tests (epochs, sessions, lanes...)."""
         return {
             "epoch_mode": self.epoch_mode,
+            "shard_lanes": self.shard_lanes,
             "epochs_run": self.batcher.epochs_run,
             "sessions_served": self.batcher.sessions_served,
             "entries_committed": self.batcher.entries_committed,

@@ -7,6 +7,13 @@ service match: every request to device *i* is enqueued on FIFO *i* and
 executed by that device's single worker thread, so device state (Bloom-
 filter punctures, log digests) is never touched by two requests at once no
 matter how many client sessions are in flight.
+
+Thread safety: the pool is the synchronization primitive — ``submit``/
+``call`` may be invoked from any number of threads concurrently (they only
+touch thread-safe queues), and everything a thunk does runs single-threaded
+on its device's worker.  ``start``/``stop`` are idempotent but must not
+race each other.  The epoch shard lanes reuse the same class: lane *k* is
+"device" *k* of a second, smaller pool.
 """
 
 from __future__ import annotations
@@ -48,9 +55,11 @@ class HsmWorkerPool:
 
     @property
     def running(self) -> bool:
+        """Whether the worker threads are live."""
         return bool(self._threads)
 
     def start(self) -> None:
+        """Spawn one daemon worker per queue (idempotent)."""
         if self._threads:
             return
         for index in range(len(self._queues)):
@@ -61,6 +70,7 @@ class HsmWorkerPool:
             self._threads.append(thread)
 
     def stop(self) -> None:
+        """Drain and join the workers (safe to call twice or before start)."""
         # Not running: enqueuing sentinels here would poison the queues for
         # a later start(), whose fresh workers would consume them and exit.
         if not self._threads:
@@ -85,12 +95,32 @@ class HsmWorkerPool:
                 self.jobs_processed[index] += 1
                 job.done.set()
 
-    def call(self, index: int, thunk: Callable[[], object]) -> object:
-        """Run ``thunk`` on device ``index``'s worker, in FIFO order."""
+    def submit(self, index: int, thunk: Callable[[], object]) -> _Job:
+        """Enqueue ``thunk`` on worker ``index``'s FIFO without waiting.
+
+        Returns the job handle; collect it with :meth:`result`.  This is
+        the fan-out primitive the shard epoch lanes use: submit one job
+        per lane, then join them all.
+        """
         if not self._threads:
             raise RuntimeError("worker pool is not running (call start() first)")
         job = _Job(thunk)
         self._queues[index].put(job)
+        return job
+
+    def result(self, job: _Job, timeout: Optional[float] = None) -> object:
+        """Wait for a submitted job; re-raises the thunk's exception."""
+        if not job.done.wait(self._call_timeout if timeout is None else timeout):
+            raise TimeoutError(
+                f"job did not complete within {self._call_timeout if timeout is None else timeout}s"
+            )
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+    def call(self, index: int, thunk: Callable[[], object]) -> object:
+        """Run ``thunk`` on device ``index``'s worker, in FIFO order."""
+        job = self.submit(index, thunk)
         if not job.done.wait(self._call_timeout):
             raise TimeoutError(
                 f"device {index} did not serve the request within {self._call_timeout}s"
@@ -100,6 +130,7 @@ class HsmWorkerPool:
         return job.result
 
     def queue_depth(self, index: int) -> int:
+        """Jobs currently waiting on worker ``index``'s FIFO."""
         return self._queues[index].qsize()
 
 
@@ -112,6 +143,7 @@ class QueuedChannel(Channel):
         self._inner = inner
 
     def decrypt_share(self, request):
+        """Run the inner channel's decrypt on the device's FIFO worker."""
         try:
             return self._pool.call(
                 self._index, lambda: self._inner.decrypt_share(request)

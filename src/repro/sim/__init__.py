@@ -6,7 +6,13 @@ this package implements the same models, plus a discrete-event simulator
 that validates the analytic tail-latency curve empirically.
 """
 
-from repro.sim.queueing import MM1Queue, min_fleet_for_latency, fig13_series
+from repro.sim.queueing import (
+    EpochBatchModel,
+    EpochShardModel,
+    MM1Queue,
+    min_fleet_for_latency,
+    fig13_series,
+)
 from repro.sim.capacity import (
     HsmThroughputModel,
     DeploymentPlan,
@@ -16,6 +22,8 @@ from repro.sim.capacity import (
 from repro.sim.workload import PoissonWorkload, simulate_queue_p99
 
 __all__ = [
+    "EpochBatchModel",
+    "EpochShardModel",
     "MM1Queue",
     "min_fleet_for_latency",
     "fig13_series",

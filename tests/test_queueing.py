@@ -7,6 +7,7 @@ import pytest
 
 from repro.sim.queueing import (
     EpochBatchModel,
+    EpochShardModel,
     MM1Queue,
     fig13_series,
     min_fleet_for_latency,
@@ -124,6 +125,78 @@ class TestEpochBatchModel:
             EpochBatchModel(
                 arrival_rate=1.0, epoch_interval=1.0, epoch_seconds=1.0
             ).wait_percentile(1.5)
+
+
+class TestEpochShardModel:
+    def test_one_shard_matches_unsharded_epoch(self):
+        model = EpochShardModel(
+            arrival_rate=10.0, epoch_interval=2.0, epoch_seconds=1.0, num_shards=1
+        )
+        assert model.lane_seconds() == pytest.approx(1.0)
+        assert model.speedup() == pytest.approx(1.0)
+
+    def test_speedup_grows_with_lanes_but_amdahl_bounds_it(self):
+        base = dict(
+            arrival_rate=10.0,
+            epoch_interval=2.0,
+            epoch_seconds=1.0,
+            serial_fraction=0.1,
+        )
+        speedups = [
+            EpochShardModel(num_shards=s, **base).speedup() for s in (1, 2, 4, 8)
+        ]
+        assert speedups == sorted(speedups)
+        assert speedups[2] >= 1.5  # the benchmark's 4-lane gate, analytically
+        # Amdahl ceiling: never beyond 1/serial_fraction.
+        assert all(s <= 1.0 / 0.1 + 1e-9 for s in speedups)
+
+    def test_per_shard_overhead_can_make_lanes_a_loss(self):
+        model = EpochShardModel(
+            arrival_rate=1.0,
+            epoch_interval=2.0,
+            epoch_seconds=0.1,
+            num_shards=8,
+            serial_fraction=0.0,
+            per_shard_overhead=0.05,
+        )
+        assert model.speedup() < 1.0  # sharding a tiny epoch is a loss
+
+    def test_amortized_cost_and_stability(self):
+        model = EpochShardModel(
+            arrival_rate=8.0,
+            epoch_interval=1.0,
+            epoch_seconds=0.8,
+            num_shards=4,
+            serial_fraction=0.25,
+        )
+        assert model.epoch_cost_per_session() == pytest.approx(
+            model.lane_seconds() / 8.0
+        )
+        assert model.max_stable_arrival_rate() == math.inf
+        saturated = EpochShardModel(
+            arrival_rate=8.0, epoch_interval=1.0, epoch_seconds=1.2, num_shards=1
+        )
+        assert saturated.max_stable_arrival_rate() == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EpochShardModel(
+                arrival_rate=1.0, epoch_interval=1.0, epoch_seconds=1.0, num_shards=0
+            )
+        with pytest.raises(ValueError):
+            EpochShardModel(
+                arrival_rate=1.0,
+                epoch_interval=1.0,
+                epoch_seconds=1.0,
+                serial_fraction=1.5,
+            )
+        with pytest.raises(ValueError):
+            EpochShardModel(
+                arrival_rate=1.0,
+                epoch_interval=1.0,
+                epoch_seconds=1.0,
+                per_shard_overhead=-0.1,
+            )
 
 
 class TestEmpiricalValidation:

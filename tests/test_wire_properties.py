@@ -24,8 +24,10 @@ from repro.crypto.bfe import BfeCiphertext
 from repro.crypto.commit import commit_recovery
 from repro.crypto.ec import P256
 from repro.crypto.elgamal import ElGamalCiphertext
+from repro.crypto.merkle import MerkleProof
 from repro.hsm.device import DecryptShareRequest
 from repro.log.authdict import InclusionProof, PathStep
+from repro.log.sharded import ShardedInclusionProof
 
 # Valid curve points are expensive to make; sample from a fixed pool.
 _POINTS = tuple(P256.keygen(random.Random(seed)).public for seed in range(8))
@@ -73,6 +75,26 @@ inclusion_proofs = st.builds(
 
 
 @st.composite
+def sharded_proofs(draw):
+    num_shards = draw(st.integers(min_value=2, max_value=8))
+    shard = draw(st.integers(min_value=0, max_value=num_shards - 1))
+    path = MerkleProof(
+        index=shard,
+        path=tuple(
+            (draw(digests), draw(st.booleans()))
+            for _ in range(draw(st.integers(min_value=0, max_value=4)))
+        ),
+    )
+    return ShardedInclusionProof(
+        shard=shard,
+        num_shards=num_shards,
+        shard_digest=draw(digests),
+        shard_path=path,
+        inclusion=draw(inclusion_proofs),
+    )
+
+
+@st.composite
 def decrypt_requests(draw):
     username = draw(usernames)
     cluster = tuple(draw(st.lists(st.integers(0, 1000), min_size=1, max_size=4)))
@@ -82,7 +104,7 @@ def decrypt_requests(draw):
         log_identifier=draw(blobs),
         commitment=opening.commitment(),
         opening=opening,
-        inclusion_proof=draw(inclusion_proofs),
+        inclusion_proof=draw(st.one_of(inclusion_proofs, sharded_proofs())),
         share_ciphertext=draw(bfe_ciphertexts),
         context=draw(blobs),
         response_key=draw(points),
@@ -149,6 +171,24 @@ class TestInclusionProofWire:
         encoded = wire.encode_inclusion_proof(proof)
         assert wire.decode_inclusion_proof(encoded) == proof
         _assert_rejects_mangling(encoded, wire.decode_inclusion_proof)
+
+    @given(proof=sharded_proofs())
+    @settings(**_SETTINGS)
+    def test_sharded_roundtrip_and_mangling(self, proof):
+        encoded = wire.encode_inclusion_proof(proof)
+        assert wire.decode_inclusion_proof(encoded) == proof
+        _assert_rejects_mangling(encoded, wire.decode_inclusion_proof)
+
+    def test_shard_out_of_range_rejected(self):
+        proof = ShardedInclusionProof(
+            shard=5,
+            num_shards=4,
+            shard_digest=b"\x00" * 32,
+            shard_path=MerkleProof(index=5, path=()),
+            inclusion=InclusionProof(steps=(), left=b"\x00" * 32, right=b"\x00" * 32),
+        )
+        with pytest.raises(wire.WireFormatError):
+            wire.decode_inclusion_proof(wire.encode_inclusion_proof(proof))
 
 
 class TestDecryptRequestWire:
