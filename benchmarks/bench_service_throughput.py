@@ -14,7 +14,10 @@ both ways over the same deployment shape and measures:
 
 It also checks the acceptance property: a batched run of >= 8 concurrent
 recoveries commits exactly one log epoch per batch tick, and batched
-throughput beats per-request throughput.
+throughput beats per-request throughput.  A final pass runs the same
+batched workload over the byte-framed provider RPC channel vs the
+direct-call reference path and reports the wire overhead (ratio, frames,
+bytes per session) into the emitted ``BENCH_*.json``.
 
 Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py -s
       or:  PYTHONPATH=src python benchmarks/bench_service_throughput.py
@@ -39,13 +42,14 @@ HSMS = 12
 CLUSTER = 3
 
 
-def _fresh_service(epoch_mode: str, seed: int = 23):
+def _fresh_service(epoch_mode: str, seed: int = 23, transport: str = "wire"):
     params = SystemParams.for_testing(
         num_hsms=HSMS, cluster_size=CLUSTER, max_punctures=4 * SESSIONS
     )
     deployment = Deployment.create(params, rng=random.Random(seed))
     service = deployment.recovery_service(
-        epoch_mode=epoch_mode, tick_interval=0.01, lease_timeout=5.0
+        epoch_mode=epoch_mode, transport=transport,
+        tick_interval=0.01, lease_timeout=5.0,
     )
     return deployment, service
 
@@ -120,6 +124,24 @@ def test_service_throughput():
     assert stats["epochs_run"] < stats["sessions_served"]  # epochs are shared
     assert per_request_rate is not None and batched_best > per_request_rate
 
+    # Wire overhead of the provider RPC leg: the same batched workload over
+    # the byte-framed channel vs the direct-call reference path, plus the
+    # frames/bytes the wire channel actually moved.
+    wire_elapsed = direct_elapsed = None
+    wire_traffic = {}
+    for transport in ("wire", "direct"):
+        _, service = _fresh_service("batched", seed=29, transport=transport)
+        with service:
+            elapsed, errors = _run_sessions(service, max(CONCURRENCY_LEVELS), SESSIONS)
+        assert not errors, errors
+        if transport == "wire":
+            wire_elapsed = elapsed
+            wire_traffic = service.stats()["provider_wire"]
+        else:
+            direct_elapsed = elapsed
+    wire_overhead = wire_elapsed / direct_elapsed
+    wire_bytes = wire_traffic["bytes_sent"] + wire_traffic["bytes_received"]
+
     # Project the measured arrival rate onto the paper's 10-minute epoch.
     model = EpochBatchModel(
         arrival_rate=batched_best, epoch_interval=600.0, epoch_seconds=20.0
@@ -140,6 +162,11 @@ def test_service_throughput():
         f"{model.sessions_per_epoch:.0f} sessions share each epoch "
         f"({model.speedup_vs_per_request():.0f}x less log-update work), "
         f"mean added wait {model.mean_wait() / 60:.0f} min"
+    )
+    lines.append(
+        f"provider RPC wire overhead: {wire_overhead:.2f}x vs direct "
+        f"({wire_traffic['frames_sent']} frames, "
+        f"{wire_bytes / SESSIONS:.0f} B/session)"
     )
     lines.append("paper: one batch epoch every ~10 min serves every pending insertion")
     emit(
@@ -163,6 +190,11 @@ def test_service_throughput():
                 "per_request_sessions_per_sec": per_request_rate,
                 "batching_speedup": batched_best / per_request_rate,
                 "modeled_sessions_per_epoch": model.sessions_per_epoch,
+                "provider_wire_overhead_vs_direct": wire_overhead,
+                "provider_wire_frames": wire_traffic["frames_sent"],
+                "provider_wire_request_bytes": wire_traffic["bytes_sent"],
+                "provider_wire_reply_bytes": wire_traffic["bytes_received"],
+                "provider_wire_bytes_per_session": wire_bytes / SESSIONS,
             },
         },
     )

@@ -10,7 +10,7 @@ repo's contract:
   fine; ``_private`` names, dunders, and ``@overload``/property *setters*
   are exempt).
 
-Usage:  python scripts/docs_lint.py src/repro/service src/repro/log
+Usage:  python scripts/docs_lint.py src/repro/service src/repro/log src/repro/core/wire.py
 Exit status 1 (with a per-finding listing) if anything is missing.
 """
 
@@ -72,6 +72,7 @@ def main(argv) -> int:
     roots = [Path(arg) for arg in argv] or [
         Path("src/repro/service"),
         Path("src/repro/log"),
+        Path("src/repro/core/wire.py"),
     ]
     findings: list = []
     checked = 0

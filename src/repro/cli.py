@@ -155,6 +155,11 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"log epochs committed: {epochs} (one per recovery)")
     busiest = max(stats["jobs_per_device"])
     print(f"busiest HSM queue served {busiest} requests")
+    if "provider_wire" in stats:
+        pw = stats["provider_wire"]
+        print(f"provider RPC wire traffic: {pw['frames_sent']} frames, "
+              f"{pw['bytes_sent']} request bytes, "
+              f"{pw['bytes_received']} reply bytes")
     if errors:
         for line in errors:
             print("ERROR:", line)

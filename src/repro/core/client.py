@@ -27,11 +27,10 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.lhe import LheCiphertext, LocationHidingEncryption, BfePke
 from repro.core.params import SystemParams
-from repro.core.provider import ServiceProvider
 from repro.crypto.commit import commit_recovery
 from repro.crypto.ec import ECKeyPair, P256
 from repro.crypto.elgamal import ElGamalCiphertext, HashedElGamal
-from repro.crypto.gcm import ae_decrypt, ae_encrypt
+from repro.crypto.gcm import AuthenticationError, ae_decrypt, ae_encrypt
 from repro.crypto.shamir import Share
 from repro.hsm.device import (
     DecryptShareRequest,
@@ -76,7 +75,7 @@ class Client:
         self,
         username: str,
         params: SystemParams,
-        provider: ServiceProvider,
+        provider: object,
         channels: Callable[[int], object],
         mpk: Sequence,
     ) -> None:
@@ -84,9 +83,20 @@ class Client:
         Channel`: the narrow transport boundary (one ``decrypt_share``
         method) between the client and a device.  The default deployment
         wiring serializes every request/reply through ``repro.core.wire`` so
-        no live HSM objects are ever shared with client code."""
+        no live HSM objects are ever shared with client code.
+
+        ``provider`` is a :class:`repro.service.channel.ProviderChannel` —
+        the same boundary for the provider leg (backup storage, attempt
+        logging, proof refresh, reply escrow).  A bare provider(-facade)
+        object is accepted for convenience and wrapped in the direct
+        reference channel; deployment wiring passes the wire channel so
+        this leg, too, crosses bytes only."""
+        from repro.service.channel import DirectProviderChannel, ProviderChannel
+
         self.username = username
         self.params = params
+        if not isinstance(provider, ProviderChannel):
+            provider = DirectProviderChannel(provider)
         self.provider = provider
         self._channels = channels
         self.mpk = list(mpk)
@@ -294,11 +304,20 @@ class Client:
         shares = []
         with self.meter.attached():
             for blob in encrypted_replies:
-                reply = ElGamalCiphertext.from_bytes(blob)
-                share_bytes = HashedElGamal.decrypt(
-                    secret, reply, context=b"recovery-reply" + username.encode("utf-8")
-                )
-                shares.append(Share.from_bytes(share_bytes))
+                # A reply that was corrupted in transit or escrow decodes or
+                # authenticates badly here; it counts as a ⊥ share (like a
+                # refusing HSM) rather than aborting the whole recovery —
+                # the remaining shares may still reach the threshold.
+                try:
+                    reply = ElGamalCiphertext.from_bytes(blob)
+                    share_bytes = HashedElGamal.decrypt(
+                        secret,
+                        reply,
+                        context=b"recovery-reply" + username.encode("utf-8"),
+                    )
+                    shares.append(Share.from_bytes(share_bytes))
+                except (AuthenticationError, ValueError):
+                    continue
         return shares
 
     # -- §8: resuming after device failure -----------------------------------------------

@@ -81,17 +81,23 @@ class Deployment:
         PIN-consuming operations take the PIN explicitly.
 
         The client reaches HSMs only through the narrow ``Channel``
-        interface; the default ``"wire"`` transport serializes every
-        request/reply through ``repro.core.wire`` (pass ``"direct"`` to
-        skip serialization in micro-benchmarks).
+        interface and the provider only through the matching
+        ``ProviderChannel``; the default ``"wire"`` transport serializes
+        every request/reply on both legs through ``repro.core.wire`` (pass
+        ``"direct"`` for the no-serialization reference path used by tests
+        and micro-benchmarks).
         """
-        from repro.service.channel import direct_channels, wire_channels
+        from repro.service.channel import (
+            direct_channels,
+            provider_channel,
+            wire_channels,
+        )
 
         factory = (wire_channels if transport == "wire" else direct_channels)(self.fleet)
         client = Client(
             username=username,
             params=self.params,
-            provider=self.provider,
+            provider=provider_channel(self.provider, transport),
             channels=factory,
             mpk=self.fleet.master_public_key(),
         )

@@ -69,9 +69,20 @@ class ServiceProvider:
         return len(self._backups[username]) - 1
 
     def fetch_backup(self, username: str, index: int = -1) -> LheCiphertext:
+        """Fetch one stored ciphertext (default: newest).
+
+        Unknown usernames and out-of-range indices raise
+        :class:`ProviderError` — a typed refusal the RPC endpoint can frame
+        — never a raw ``KeyError``/``IndexError``.
+        """
         backups = self._backups.get(username)
         if not backups:
             raise ProviderError(f"no backups stored for {username!r}")
+        if not (-len(backups) <= index < len(backups)):
+            raise ProviderError(
+                f"backup index {index} out of range for {username!r}"
+                f" ({len(backups)} stored)"
+            )
         return backups[index]
 
     def backup_count(self, username: str) -> int:

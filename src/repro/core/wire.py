@@ -14,7 +14,7 @@ partially-parsed objects (these inputs arrive from untrusted parties).
 from __future__ import annotations
 
 import struct
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.core.lhe import LheCiphertext
 from repro.crypto.bfe import BfeCiphertext
@@ -84,6 +84,7 @@ def _text(value: str) -> bytes:
 # BFE ciphertexts
 # ---------------------------------------------------------------------------
 def encode_bfe_ciphertext(ct: BfeCiphertext) -> bytes:
+    """Serialize a Bloom-filter-encryption ciphertext."""
     parts = [
         _blob(ct.tag),
         _blob(ct.ephemeral.to_bytes()),
@@ -109,6 +110,7 @@ def _decode_bfe_ciphertext(reader: _Reader) -> BfeCiphertext:
 
 
 def decode_bfe_ciphertext(data: bytes) -> BfeCiphertext:
+    """Strictly decode a BFE ciphertext (raises on any malformation)."""
     reader = _Reader(data)
     ct = _decode_bfe_ciphertext(reader)
     reader.finish()
@@ -141,6 +143,7 @@ def encode_recovery_ciphertext(ct: LheCiphertext) -> bytes:
 
 
 def decode_recovery_ciphertext(data: bytes) -> LheCiphertext:
+    """Strictly decode a recovery ciphertext uploaded by a client."""
     reader = _Reader(data)
     version = reader.u8()
     if version != WIRE_VERSION:
@@ -334,6 +337,7 @@ def decode_inclusion_proof(data: bytes):
 # Decrypt-share requests (client -> HSM, step Ï of Figure 3)
 # ---------------------------------------------------------------------------
 def encode_decrypt_request(request) -> bytes:
+    """Serialize a client's decrypt-share request to one HSM."""
     from repro.hsm.device import DecryptShareRequest  # avoid import cycle
 
     assert isinstance(request, DecryptShareRequest)
@@ -353,6 +357,7 @@ def encode_decrypt_request(request) -> bytes:
 
 
 def decode_decrypt_request(data: bytes):
+    """Strictly decode a decrypt-share request (device side)."""
     from repro.hsm.device import DecryptShareRequest
 
     reader = _Reader(data)
@@ -384,3 +389,242 @@ def decode_decrypt_request(data: bytes):
         context=context,
         response_key=response_key,
     )
+
+
+# ---------------------------------------------------------------------------
+# Provider RPC frames (client -> provider -> client)
+# ---------------------------------------------------------------------------
+# Every provider interaction crosses the untrusted operator's network, so
+# the whole surface is framed: ``[version u8][op u8][body]`` requests and
+# ``[version u8][kind u8][body]`` replies, with bodies described by the
+# per-op field schemas below.  Inclusion proofs ride the same tagged
+# PROOF_PLAIN/PROOF_SHARDED envelope as the client->HSM leg, and failures
+# travel as typed PROV_REPLY_ERROR frames — a provider can answer with an
+# error *status*, never with a live Python exception.
+
+#: Request op tags, one per method of the provider surface.
+PROV_UPLOAD_BACKUP = 1
+PROV_FETCH_BACKUP = 2
+PROV_BACKUP_COUNT = 3
+PROV_UPLOAD_INCREMENTAL = 4
+PROV_FETCH_INCREMENTALS = 5
+PROV_NEXT_ATTEMPT = 6
+PROV_RESERVE_ATTEMPT = 7
+PROV_LOG_ATTEMPT = 8
+PROV_LOG_AND_PROVE = 9
+PROV_PROVE_INCLUSION = 10
+PROV_SHARE_PHASE_DONE = 11
+PROV_STORE_REPLY = 12
+PROV_FETCH_REPLIES = 13
+PROV_LIST_ATTEMPTS = 14
+
+#: Reply kind tags.
+PROV_REPLY_ACK = 1
+PROV_REPLY_COUNT = 2
+PROV_REPLY_BACKUP = 3
+PROV_REPLY_BLOBS = 4
+PROV_REPLY_PROOF = 5
+PROV_REPLY_PROVEN = 6
+PROV_REPLY_ENTRIES = 7
+PROV_REPLY_LOGGED = 8
+PROV_REPLY_ERROR = 9
+
+#: Error statuses carried by :data:`PROV_REPLY_ERROR` frames.
+PROV_ERR_PROVIDER = 1      # the provider refused/failed (ProviderError)
+PROV_ERR_BAD_REQUEST = 2   # the provider could not decode the request
+PROV_ERR_TIMEOUT = 3       # the epoch service timed out (ServiceTimeout)
+
+_PROVIDER_ERROR_STATUSES = (
+    PROV_ERR_PROVIDER,
+    PROV_ERR_BAD_REQUEST,
+    PROV_ERR_TIMEOUT,
+)
+
+#: Bound on list-valued reply fields (blobs, log entries) — far above any
+#: honest reply, low enough that a hostile length prefix cannot OOM us.
+_MAX_LIST_ITEMS = 65536
+
+
+def _i32(value: int) -> bytes:
+    if not (-(1 << 31) <= value < 1 << 31):
+        raise WireFormatError("i32 out of range")
+    return struct.pack(">i", value)
+
+
+def _encode_opt_proof(proof) -> bytes:
+    if proof is None:
+        return b"\x00"
+    return b"\x01" + _blob(encode_inclusion_proof(proof))
+
+
+def _decode_opt_proof(reader: _Reader):
+    flag = reader.u8()
+    if flag == 0:
+        return None
+    if flag != 1:
+        raise WireFormatError(f"bad optional-proof flag {flag}")
+    return decode_inclusion_proof(reader.blob())
+
+
+def _encode_blob_list(blobs) -> bytes:
+    return _u32(len(blobs)) + b"".join(_blob(b) for b in blobs)
+
+
+def _decode_blob_list(reader: _Reader) -> List[bytes]:
+    count = reader.u32()
+    if count > _MAX_LIST_ITEMS:
+        raise WireFormatError("implausible blob count")
+    return [reader.blob() for _ in range(count)]
+
+
+def _encode_entry_list(entries) -> bytes:
+    parts = [_u32(len(entries))]
+    for identifier, value in entries:
+        parts.append(_blob(identifier))
+        parts.append(_blob(value))
+    return b"".join(parts)
+
+
+def _decode_entry_list(reader: _Reader) -> List[Tuple[bytes, bytes]]:
+    count = reader.u32()
+    if count > _MAX_LIST_ITEMS:
+        raise WireFormatError("implausible entry count")
+    return [(reader.blob(), reader.blob()) for _ in range(count)]
+
+
+def _encode_err_status(status: int) -> bytes:
+    if status not in _PROVIDER_ERROR_STATUSES:
+        raise WireFormatError(f"unknown provider error status {status}")
+    return bytes([status])
+
+
+def _decode_err_status(reader: _Reader) -> int:
+    status = reader.u8()
+    if status not in _PROVIDER_ERROR_STATUSES:
+        raise WireFormatError(f"unknown provider error status {status}")
+    return status
+
+
+_FIELD_ENCODERS = {
+    "text": _text,
+    "blob": _blob,
+    "u32": _u32,
+    "i32": _i32,
+    "recovery_ct": lambda ct: _blob(encode_recovery_ciphertext(ct)),
+    "proof": lambda proof: _blob(encode_inclusion_proof(proof)),
+    "opt_proof": _encode_opt_proof,
+    "blobs": _encode_blob_list,
+    "entries": _encode_entry_list,
+    "err_status": _encode_err_status,
+}
+
+_FIELD_DECODERS = {
+    "text": _Reader.text,
+    "blob": _Reader.blob,
+    "u32": _Reader.u32,
+    "i32": lambda reader: struct.unpack(">i", reader.take(4))[0],
+    "recovery_ct": lambda reader: decode_recovery_ciphertext(reader.blob()),
+    "proof": lambda reader: decode_inclusion_proof(reader.blob()),
+    "opt_proof": _decode_opt_proof,
+    "blobs": _decode_blob_list,
+    "entries": _decode_entry_list,
+    "err_status": _decode_err_status,
+}
+
+#: Body schema per request op: ordered (field name, field kind) pairs.
+PROVIDER_REQUEST_SCHEMAS: Dict[int, Tuple[Tuple[str, str], ...]] = {
+    PROV_UPLOAD_BACKUP: (("username", "text"), ("ciphertext", "recovery_ct")),
+    PROV_FETCH_BACKUP: (("username", "text"), ("index", "i32")),
+    PROV_BACKUP_COUNT: (("username", "text"),),
+    PROV_UPLOAD_INCREMENTAL: (("username", "text"), ("blob", "blob")),
+    PROV_FETCH_INCREMENTALS: (("username", "text"),),
+    PROV_NEXT_ATTEMPT: (("username", "text"),),
+    PROV_RESERVE_ATTEMPT: (("username", "text"),),
+    PROV_LOG_ATTEMPT: (
+        ("username", "text"),
+        ("attempt", "u32"),
+        ("commitment", "blob"),
+    ),
+    PROV_LOG_AND_PROVE: (
+        ("username", "text"),
+        ("attempt", "u32"),
+        ("commitment", "blob"),
+    ),
+    PROV_PROVE_INCLUSION: (("identifier", "blob"), ("value", "blob")),
+    PROV_SHARE_PHASE_DONE: (("username", "text"), ("attempt", "u32")),
+    PROV_STORE_REPLY: (
+        ("username", "text"),
+        ("attempt", "u32"),
+        ("reply", "blob"),
+    ),
+    PROV_FETCH_REPLIES: (("username", "text"), ("attempt", "u32")),
+    PROV_LIST_ATTEMPTS: (("username", "text"),),
+}
+
+#: Body schema per reply kind.
+PROVIDER_REPLY_SCHEMAS: Dict[int, Tuple[Tuple[str, str], ...]] = {
+    PROV_REPLY_ACK: (),
+    PROV_REPLY_COUNT: (("value", "u32"),),
+    PROV_REPLY_BACKUP: (("ciphertext", "recovery_ct"),),
+    PROV_REPLY_BLOBS: (("blobs", "blobs"),),
+    PROV_REPLY_PROOF: (("proof", "opt_proof"),),
+    PROV_REPLY_PROVEN: (("identifier", "blob"), ("proof", "proof")),
+    PROV_REPLY_ENTRIES: (("entries", "entries"),),
+    PROV_REPLY_LOGGED: (("identifier", "blob"),),
+    PROV_REPLY_ERROR: (("status", "err_status"), ("message", "text")),
+}
+
+
+def _encode_framed(tag: int, fields: Dict, schemas: Dict, what: str) -> bytes:
+    schema = schemas.get(tag)
+    if schema is None:
+        raise WireFormatError(f"unknown {what} tag {tag}")
+    if set(fields) != {name for name, _ in schema}:
+        raise WireFormatError(
+            f"{what} {tag} fields {sorted(fields)} do not match its schema"
+        )
+    parts = [bytes([WIRE_VERSION, tag])]
+    for name, kind in schema:
+        parts.append(_FIELD_ENCODERS[kind](fields[name]))
+    return b"".join(parts)
+
+
+def _decode_framed(data: bytes, schemas: Dict, what: str):
+    reader = _Reader(data)
+    version = reader.u8()
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    tag = reader.u8()
+    schema = schemas.get(tag)
+    if schema is None:
+        raise WireFormatError(f"unknown {what} tag {tag}")
+    fields = {name: _FIELD_DECODERS[kind](reader) for name, kind in schema}
+    reader.finish()
+    return tag, fields
+
+
+def encode_provider_request(op: int, fields: Dict) -> bytes:
+    """Serialize one provider RPC request (tagged by ``op``)."""
+    return _encode_framed(op, fields, PROVIDER_REQUEST_SCHEMAS, "provider request")
+
+
+def decode_provider_request(data: bytes):
+    """Strictly decode a provider request into ``(op, fields)``."""
+    return _decode_framed(data, PROVIDER_REQUEST_SCHEMAS, "provider request")
+
+
+def encode_provider_reply(kind: int, fields: Dict) -> bytes:
+    """Serialize one provider RPC reply (tagged by ``kind``)."""
+    return _encode_framed(kind, fields, PROVIDER_REPLY_SCHEMAS, "provider reply")
+
+
+def encode_provider_error(status: int, message: str) -> bytes:
+    """Serialize a typed provider failure as a :data:`PROV_REPLY_ERROR` frame."""
+    return encode_provider_reply(
+        PROV_REPLY_ERROR, {"status": status, "message": message}
+    )
+
+
+def decode_provider_reply(data: bytes):
+    """Strictly decode a provider reply into ``(kind, fields)``."""
+    return _decode_framed(data, PROVIDER_REPLY_SCHEMAS, "provider reply")

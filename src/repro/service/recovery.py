@@ -12,9 +12,10 @@
   ``tick()`` calls for deterministic tests).
 
 Clients created through :meth:`new_client` are ordinary
-:class:`~repro.core.client.Client` objects; they just see a provider facade
-whose ``log_and_prove`` blocks on the shared epoch and whose HSM channels
-run through the worker queues.  ``epoch_mode="per-request"`` keeps the
+:class:`~repro.core.client.Client` objects; they speak to the provider only
+through a ``ProviderChannel`` (byte-framed provider RPC for the default
+``"wire"`` transport) fronting a facade whose ``log_and_prove`` blocks on
+the shared epoch, and their HSM channels run through the worker queues.  ``epoch_mode="per-request"`` keeps the
 seed's one-epoch-per-recovery behaviour (serializing sessions, since an
 epoch invalidates every other in-flight proof) — it exists so benchmarks
 can measure exactly what batching buys.
@@ -33,12 +34,18 @@ import threading
 import time
 from typing import List, Optional
 
-from repro.core import wire
 from repro.core.client import Client
 from repro.core.protocol import Deployment
 from repro.core.provider import ProviderError, ServiceProvider
 from repro.service.batcher import EpochBatcher
-from repro.service.channel import ChannelFactory, direct_channels, wire_channels
+from repro.service.channel import (
+    ChannelFactory,
+    DirectProviderChannel,
+    ProviderWireEndpoint,
+    WireProviderChannel,
+    direct_channels,
+    wire_channels,
+)
 from repro.service.workers import HsmWorkerPool, queued_channels
 
 #: Device methods of the Figure 5 epoch protocol that mutate or read
@@ -74,14 +81,14 @@ class _FifoDevice:
 
 
 class BatchedProviderFacade:
-    """What service clients see as "the provider".
+    """What the service's provider endpoint dispatches into.
 
-    Delegates to the real :class:`ServiceProvider`, with three changes:
+    Delegates to the real :class:`ServiceProvider`, with two changes:
     attempt numbers are *reserved* atomically (concurrent sessions for one
-    user cannot collide), ``log_and_prove`` waits for the shared epoch
-    instead of running its own, and uploaded/fetched recovery ciphertexts
-    round-trip through the wire encoding (the client talks to a network
-    service, not to in-process object storage).
+    user cannot collide) and ``log_and_prove`` waits for the shared epoch
+    instead of running its own.  Clients never hold this object — they
+    speak through a ``ProviderChannel`` (byte-framed for the default
+    ``"wire"`` transport) that fronts it.
     """
 
     def __init__(self, service: "RecoveryService") -> None:
@@ -130,21 +137,6 @@ class BatchedProviderFacade:
         else:
             self._service.batcher.release(username, attempt)
 
-    # -- backup storage crosses the wire ---------------------------------------
-    def upload_backup(self, username: str, ciphertext) -> int:
-        """Store a backup; the ciphertext round-trips through wire bytes."""
-        blob = wire.encode_recovery_ciphertext(ciphertext)
-        return self._provider.upload_backup(
-            username, wire.decode_recovery_ciphertext(blob)
-        )
-
-    def fetch_backup(self, username: str, index: int = -1):
-        """Fetch a backup; the ciphertext round-trips through wire bytes."""
-        ciphertext = self._provider.fetch_backup(username, index)
-        return wire.decode_recovery_ciphertext(
-            wire.encode_recovery_ciphertext(ciphertext)
-        )
-
 
 class RecoveryService:
     """Concurrent serving front end over one deployment."""
@@ -190,6 +182,17 @@ class RecoveryService:
         )
         self._channels: ChannelFactory = queued_channels(self.pool, inner)
         self._facade = BatchedProviderFacade(self)
+        # Clients reach the provider only through this channel: the default
+        # "wire" transport frames every call (and every failure) through
+        # the provider RPC encoding; "direct" is the reference path.
+        if transport == "wire":
+            self.provider_endpoint: Optional[ProviderWireEndpoint] = (
+                ProviderWireEndpoint(self._facade)
+            )
+            self.provider_channel = WireProviderChannel(self.provider_endpoint)
+        else:
+            self.provider_endpoint = None
+            self.provider_channel = DirectProviderChannel(self._facade)
         self._tick_interval = tick_interval
         self._ticker: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -309,11 +312,12 @@ class RecoveryService:
 
     # -- clients ---------------------------------------------------------------
     def new_client(self, username: str) -> Client:
-        """A client wired through the service: batched log, queued channels."""
+        """A client wired through the service: batched log, queued channels,
+        provider calls framed through the provider RPC channel."""
         client = Client(
             username=username,
             params=self.deployment.params,
-            provider=self._facade,
+            provider=self.provider_channel,
             channels=self._channels,
             mpk=self.deployment.fleet.master_public_key(),
         )
@@ -325,8 +329,11 @@ class RecoveryService:
 
     # -- observability ---------------------------------------------------------
     def stats(self) -> dict:
-        """Counters for benchmarks and tests (epochs, sessions, lanes...)."""
-        return {
+        """Counters for benchmarks and tests (epochs, sessions, lanes...).
+
+        Includes ``provider_wire`` (frames/bytes moved on the provider RPC
+        leg) when the service runs the wire transport."""
+        stats = {
             "epoch_mode": self.epoch_mode,
             "shard_lanes": self.shard_lanes,
             "epochs_run": self.batcher.epochs_run,
@@ -338,3 +345,6 @@ class RecoveryService:
             "slot_steals": self.slot_steals,
             "jobs_per_device": list(self.pool.jobs_processed),
         }
+        if isinstance(self.provider_channel, WireProviderChannel):
+            stats["provider_wire"] = self.provider_channel.wire_stats()
+        return stats

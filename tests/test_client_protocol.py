@@ -111,24 +111,46 @@ class TestAttemptLimits:
 
 
 class TestFaultTolerance:
+    # The cluster samples HSM indices *with replacement* (Hash -> [N]^n), so
+    # one dead device can cover several share positions; both tests count
+    # surviving positions rather than assuming distinct cluster members
+    # (the salt is random, so anything less is a coin-flip, not a test).
+
     def test_recovery_with_failed_minority(self, fresh_deployment, unique_user):
+        from collections import Counter
+
         client = fresh_deployment.new_client(unique_user)
         client.backup(b"data", pin="1234")
         ct = fresh_deployment.provider.fetch_backup(unique_user)
         cluster = client.lhe.select(ct.salt, "1234")
-        # t = n/2: kill just under half the cluster.
-        for index in set(cluster[: client.params.threshold - 1]):
+        # Kill up to t-1 devices while at least t share positions survive.
+        positions = Counter(cluster)
+        alive, dead = len(cluster), 0
+        for index in dict.fromkeys(cluster):
+            if dead == client.params.threshold - 1:
+                break
+            if alive - positions[index] < client.params.threshold:
+                continue
             fresh_deployment.fleet[index].fail_stop()
+            alive -= positions[index]
+            dead += 1
         assert client.recover(pin="1234") == b"data"
 
     def test_recovery_fails_below_threshold(self, fresh_deployment, unique_user):
+        from collections import Counter
+
         client = fresh_deployment.new_client(unique_user)
         client.backup(b"data", pin="1234")
         ct = fresh_deployment.provider.fetch_backup(unique_user)
-        cluster = set(client.lhe.select(ct.salt, "1234"))
-        survivors = client.params.threshold - 1
-        for index in list(cluster)[: len(cluster) - survivors]:
+        cluster = client.lhe.select(ct.salt, "1234")
+        # Kill devices until fewer than t share positions survive.
+        alive = len(cluster)
+        for index, occupancy in Counter(cluster).most_common():
+            if alive < client.params.threshold:
+                break
             fresh_deployment.fleet[index].fail_stop()
+            alive -= occupancy
+        assert alive < client.params.threshold
         with pytest.raises(RecoveryError):
             client.recover(pin="1234")
 

@@ -26,7 +26,12 @@ class TestWiring:
     def test_clients_share_one_provider(self, fresh_deployment):
         a = fresh_deployment.new_client("a")
         b = fresh_deployment.new_client("b")
-        assert a.provider is b.provider is fresh_deployment.provider
+        # Clients hold ProviderChannels (never the live provider object);
+        # both channels must front the same deployment provider state.
+        assert a.provider is not fresh_deployment.provider
+        a.backup(b"shared", pin="1234")
+        assert b.provider.backup_count("a") == 1
+        assert fresh_deployment.provider.backup_count("a") == 1
 
     def test_update_runner_installed(self, fresh_deployment):
         fresh_deployment.provider.run_log_update()  # must not raise

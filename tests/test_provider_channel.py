@@ -1,0 +1,217 @@
+"""The provider RPC surface: loopback round-trips, typed errors, and the
+wire-vs-direct equivalence acceptance property.
+
+The untrusted provider is a *network service*: every interaction of the
+client's provider leg (backup storage, attempt logging, proof refresh,
+reply escrow) crosses ``core/wire`` frames through a ``ProviderChannel``.
+These tests pin three contracts:
+
+- each RPC method round-trips through the in-memory byte loopback;
+- failures cross the boundary as typed error frames (``ProviderError`` /
+  ``ServiceTimeout`` client-side) — never a raw ``KeyError`` /
+  ``IndexError`` or a live exception object;
+- a fixed seeded backup+recovery workload is *byte-identical* between the
+  wire path and the direct-call reference path: same op-count metering,
+  same log digest, same log entries, same plaintexts.
+"""
+
+import random
+import secrets
+
+import pytest
+
+from repro.core import wire
+from repro.core.identifiers import attempt_identifier
+from repro.core.lhe import LheCiphertext
+from repro.core.params import SystemParams
+from repro.core.protocol import Deployment
+from repro.core.provider import ProviderError, ServiceProvider
+from repro.metering import OpMeter
+from repro.service.batcher import ServiceTimeout
+from repro.service.channel import (
+    DirectProviderChannel,
+    ProviderWireEndpoint,
+    WireProviderChannel,
+)
+
+
+def _loopback(provider) -> WireProviderChannel:
+    return WireProviderChannel(ProviderWireEndpoint(provider))
+
+
+def _ciphertext(tag: bytes = b"ct") -> LheCiphertext:
+    return LheCiphertext(
+        salt=b"salt-" + tag,
+        username="wire-user",
+        share_ciphertexts=(),
+        payload=b"payload-" + tag,
+        threshold=2,
+        num_hsms=4,
+    )
+
+
+class TestLoopbackRoundTrips:
+    """Every RPC method crosses bytes and lands on the real provider."""
+
+    def test_backup_storage(self):
+        provider = ServiceProvider()
+        channel = _loopback(provider)
+        assert channel.upload_backup("wire-user", _ciphertext(b"0")) == 0
+        assert channel.upload_backup("wire-user", _ciphertext(b"1")) == 1
+        assert channel.backup_count("wire-user") == 2
+        assert channel.fetch_backup("wire-user", 0) == _ciphertext(b"0")
+        assert channel.fetch_backup("wire-user") == _ciphertext(b"1")
+        # The stored object is a decoded copy, never the caller's object.
+        original = _ciphertext(b"2")
+        channel.upload_backup("wire-user", original)
+        assert provider.fetch_backup("wire-user") == original
+        assert provider.fetch_backup("wire-user") is not original
+
+    def test_incrementals_and_reply_escrow(self):
+        channel = _loopback(ServiceProvider())
+        channel.upload_incremental("wire-user", b"day1")
+        channel.upload_incremental("wire-user", b"day2")
+        assert channel.fetch_incrementals("wire-user") == [b"day1", b"day2"]
+        channel.store_reply("wire-user", 0, b"reply-blob")
+        assert channel.fetch_replies("wire-user", 0) == [b"reply-blob"]
+        assert channel.fetch_replies("wire-user", 7) == []
+
+    def test_attempt_numbering_and_logging(self):
+        channel = _loopback(ServiceProvider())
+        assert channel.next_attempt_number("wire-user") == 0
+        assert channel.reserve_attempt_number("wire-user") == 0
+        assert channel.reserve_attempt_number("wire-user") == 1
+        identifier = channel.log_recovery_attempt("wire-user", 2, b"commit")
+        assert identifier == attempt_identifier("wire-user", 2)
+        assert channel.next_attempt_number("wire-user") == 3
+        channel.share_phase_done("wire-user", 2)  # plain provider: no-op ack
+
+    def test_prove_inclusion_absent_is_none(self):
+        channel = _loopback(ServiceProvider())
+        assert channel.prove_inclusion(b"never-committed", b"v") is None
+
+    def test_recovery_attempts_empty(self):
+        channel = _loopback(ServiceProvider())
+        assert channel.recovery_attempts_for("wire-user") == []
+
+    def test_traffic_counters_accumulate(self):
+        channel = _loopback(ServiceProvider())
+        channel.upload_backup("wire-user", _ciphertext())
+        channel.backup_count("wire-user")
+        stats = channel.wire_stats()
+        assert stats["frames_sent"] == 2
+        assert stats["bytes_sent"] > 0 and stats["bytes_received"] > 0
+
+
+class TestTypedErrors:
+    """Failures travel as typed frames, never as raw Python exceptions."""
+
+    def test_out_of_range_fetch_is_provider_error(self):
+        provider = ServiceProvider()
+        provider.upload_backup("u", _ciphertext())
+        for surface in (provider, DirectProviderChannel(provider), _loopback(provider)):
+            with pytest.raises(ProviderError, match="out of range"):
+                surface.fetch_backup("u", 5)
+            with pytest.raises(ProviderError, match="out of range"):
+                surface.fetch_backup("u", -2)
+
+    def test_unknown_username_fetch_is_provider_error(self):
+        for surface in (ServiceProvider(), _loopback(ServiceProvider())):
+            with pytest.raises(ProviderError, match="no backups"):
+                surface.fetch_backup("ghost")
+
+    def test_duplicate_log_attempt_is_typed_over_the_wire(self):
+        provider = ServiceProvider()
+        channel = _loopback(provider)
+        channel.log_recovery_attempt("u", 0, b"h0")
+        # Directly the provider raises KeyError (the batcher relies on it);
+        # across the wire it must become a typed ProviderError frame.
+        with pytest.raises(KeyError):
+            provider.log_recovery_attempt("u", 0, b"h1")
+        with pytest.raises(ProviderError):
+            channel.log_recovery_attempt("u", 0, b"h1")
+
+    def test_malformed_request_answers_bad_request_frame(self):
+        endpoint = ProviderWireEndpoint(ServiceProvider())
+        for junk in (b"", b"\x01", b"\x01\x63", b"\xff" * 40):
+            kind, fields = wire.decode_provider_reply(endpoint.handle(junk))
+            assert kind == wire.PROV_REPLY_ERROR
+            assert fields["status"] == wire.PROV_ERR_BAD_REQUEST
+
+    def test_service_timeout_crosses_as_typed_status(self):
+        class TimingOutProvider:
+            def log_and_prove(self, username, attempt, commitment):
+                raise ServiceTimeout("no epoch committed within 0.1s")
+
+        channel = _loopback(TimingOutProvider())
+        with pytest.raises(ServiceTimeout):
+            channel.log_and_prove("u", 0, b"c")
+
+    def test_unencodable_reply_answers_typed_error_frame(self):
+        class OutOfContractProvider:
+            def backup_count(self, username):
+                return 1 << 40  # does not fit the COUNT reply's u32
+
+        channel = _loopback(OutOfContractProvider())
+        with pytest.raises(ProviderError, match="u32 out of range"):
+            channel.backup_count("u")
+
+    def test_unexpected_reply_kind_is_wire_error(self):
+        channel = WireProviderChannel(
+            lambda request: wire.encode_provider_reply(wire.PROV_REPLY_ACK, {})
+        )
+        with pytest.raises(wire.WireFormatError):
+            channel.backup_count("u")
+
+
+class TestWireDirectEquivalence:
+    """Acceptance: the byte-framed provider leg changes *nothing* about the
+    computation — op counts, log digest, log entries, and plaintexts are
+    byte-identical to the direct-call reference path."""
+
+    METERED_OPS = ("ec_mult", "ecdsa_verify", "sha256_block", "aes_block")
+
+    def run_seeded_workload(self, transport: str):
+        """One fixed backup/recovery workload; all randomness from one PRNG
+        so the trace is a pure function of the code path under test."""
+        stream = random.Random(0xFEEDFACE)
+        originals = (secrets.token_bytes, secrets.randbelow)
+        secrets.token_bytes = lambda n=32: stream.getrandbits(8 * n).to_bytes(n, "big")
+        secrets.randbelow = lambda bound: stream.randrange(bound)
+        try:
+            meter = OpMeter()
+            with meter.attached():
+                params = SystemParams.for_testing(
+                    num_hsms=6, cluster_size=3, max_punctures=32
+                )
+                deployment = Deployment.create(params, rng=random.Random(7))
+                client = deployment.new_client("equiv-user", transport=transport)
+                client.enable_incremental_backups(pin="1234")
+                client.incremental_backup(b"increment-1")
+                client.backup(b"equivalence payload", pin="1234")
+                increments = client.recover_incrementals(pin="1234")
+                recovered = client.recover(pin="1234")
+                attempts = client.audit_my_recovery_attempts()
+                escrowed = client.provider.fetch_replies("equiv-user", 1)
+            provider = deployment.provider
+            return {
+                "ops": {op: meter.counts[op] for op in self.METERED_OPS},
+                "digest": provider.log.digest,
+                "entries": list(provider.log.ordered_entries),
+                "recovered": recovered,
+                "increments": increments,
+                "attempts": attempts,
+                "escrowed": escrowed,
+            }
+        finally:
+            secrets.token_bytes, secrets.randbelow = originals
+
+    def test_wire_path_is_byte_identical_to_direct(self):
+        direct = self.run_seeded_workload("direct")
+        wired = self.run_seeded_workload("wire")
+        assert direct["recovered"] == b"equivalence payload"
+        assert direct["increments"] == [b"increment-1"]
+        assert wired["ops"] == direct["ops"]
+        assert wired["digest"] == direct["digest"]
+        assert wired["entries"] == direct["entries"]
+        assert wired == direct

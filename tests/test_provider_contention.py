@@ -1,0 +1,83 @@
+"""Attempt-number reservation under heavy thread contention.
+
+``reserve_attempt_number`` is the provider's only defense against two
+concurrent sessions for one user colliding on a log identifier, so the
+O(1) counters must never skip or reuse a slot no matter how the scheduler
+interleaves.  16 threads hammer reservations — on the raw provider, and
+through the byte-framed ``WireProviderChannel`` loopback — logging each
+reserved slot, then every outcome is cross-checked against the reference
+full-log scan.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.provider import ServiceProvider
+from repro.service.channel import ProviderWireEndpoint, WireProviderChannel
+
+THREADS = 16
+RESERVATIONS_PER_THREAD = 50
+#: One hot user every thread fights over, plus a handful of bystanders so
+#: per-user isolation is exercised at the same time.
+USERS = ("hot-user", "cold-user-a", "cold-user-b", "cold-user-c")
+
+
+def _hammer(surface, provider) -> dict:
+    """Reserve-and-log from THREADS threads; returns reservations per user."""
+    reserved = {user: [] for user in USERS}
+    lock = threading.Lock()
+    start = threading.Barrier(THREADS)
+    errors = []
+
+    def worker(seed: int) -> None:
+        rng = random.Random(seed)
+        start.wait()
+        try:
+            for _ in range(RESERVATIONS_PER_THREAD):
+                # Mostly the contended user, sometimes a bystander.
+                user = USERS[0] if rng.random() < 0.7 else rng.choice(USERS[1:])
+                attempt = surface.reserve_attempt_number(user)
+                surface.log_recovery_attempt(user, attempt, b"commit")
+                with lock:
+                    reserved[user].append(attempt)
+        except Exception as exc:  # noqa: BLE001 - fail the test, not the thread
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return reserved
+
+
+def _assert_no_skips_or_reuse(provider, reserved: dict) -> None:
+    total = sum(len(slots) for slots in reserved.values())
+    assert total == THREADS * RESERVATIONS_PER_THREAD
+    for user, slots in reserved.items():
+        # No reuse, no skips: exactly 0..n-1, each exactly once.
+        assert sorted(slots) == list(range(len(slots))), f"slots broken for {user!r}"
+        # The O(1) counter agrees with the reference full-log scan.
+        assert provider.next_attempt_number(user) == len(slots)
+        assert provider.scan_attempt_number(user) == len(slots)
+
+
+@pytest.mark.slow
+def test_reserve_attempt_number_under_contention_direct():
+    provider = ServiceProvider()
+    reserved = _hammer(provider, provider)
+    _assert_no_skips_or_reuse(provider, reserved)
+
+
+@pytest.mark.slow
+def test_reserve_attempt_number_under_contention_over_the_wire():
+    """The same hammering with every reservation crossing wire frames (the
+    channel and endpoint must add no race of their own)."""
+    provider = ServiceProvider()
+    channel = WireProviderChannel(ProviderWireEndpoint(provider))
+    reserved = _hammer(channel, provider)
+    _assert_no_skips_or_reuse(provider, reserved)
+    assert channel.wire_stats()["frames_sent"] == 2 * THREADS * RESERVATIONS_PER_THREAD

@@ -379,23 +379,23 @@ class TestRecoveryService:
 
     def test_facade_backups_cross_the_wire(self, service_deployment):
         service = service_deployment.recovery_service()
-        facade = service._facade
         client = service.new_client("svc-wireback")
-        captured = []
-        original_upload = facade.upload_backup
+        sent = []
+        original_upload = client.provider.upload_backup
 
         def spy(username, ciphertext):
-            captured.append(ciphertext)  # the client's live object
+            sent.append(ciphertext)  # the client's live object
             return original_upload(username, ciphertext)
 
-        facade.upload_backup = spy
+        client.provider.upload_backup = spy
         try:
             client.backup(b"round trip", pin="4444")
         finally:
-            del facade.upload_backup
-        # The provider never stored the client's live object: the facade
+            del client.provider.upload_backup
+        # The provider never stored the client's live object: the endpoint
         # reconstructed a value-equal ciphertext from wire bytes.
-        assert len(captured) == 1
+        assert len(sent) == 1
+        assert client.provider.wire_stats()["frames_sent"] >= 1
         stored = service_deployment.provider.fetch_backup("svc-wireback")
-        assert stored == captured[0]
-        assert stored is not captured[0]
+        assert stored == sent[0]
+        assert stored is not sent[0]

@@ -191,6 +191,162 @@ class TestInclusionProofWire:
             wire.decode_inclusion_proof(wire.encode_inclusion_proof(proof))
 
 
+_FIELD_STRATEGIES = {
+    "text": usernames,
+    "blob": blobs,
+    "u32": u32s,
+    "i32": st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+    "recovery_ct": recovery_ciphertexts,
+    "proof": st.one_of(inclusion_proofs, sharded_proofs()),
+    "opt_proof": st.one_of(st.none(), inclusion_proofs, sharded_proofs()),
+    "blobs": st.lists(blobs, max_size=4),
+    "entries": st.lists(st.tuples(blobs, blobs), max_size=4),
+    "err_status": st.sampled_from(wire._PROVIDER_ERROR_STATUSES),
+}
+
+
+@st.composite
+def _framed(draw, schemas):
+    tag = draw(st.sampled_from(sorted(schemas)))
+    fields = {
+        name: draw(_FIELD_STRATEGIES[kind]) for name, kind in schemas[tag]
+    }
+    return tag, fields
+
+
+def provider_requests():
+    return _framed(wire.PROVIDER_REQUEST_SCHEMAS)
+
+
+def provider_replies():
+    return _framed(wire.PROVIDER_REPLY_SCHEMAS)
+
+
+def _normalized(value):
+    """Entry lists decode to tuples; compare values, not container types."""
+    if isinstance(value, list):
+        return [tuple(v) if isinstance(v, (tuple, list)) else v for v in value]
+    return value
+
+
+class TestProviderRequestWire:
+    """Every provider RPC request op round-trips and rejects malformation."""
+
+    @given(frame=provider_requests())
+    @settings(**_SETTINGS)
+    def test_roundtrip_and_mangling(self, frame):
+        op, fields = frame
+        encoded = wire.encode_provider_request(op, fields)
+        assert wire.decode_provider_request(encoded) == (op, fields)
+        _assert_rejects_mangling(encoded, wire.decode_provider_request)
+
+    @given(frame=provider_requests(), tag=st.integers(min_value=0, max_value=255))
+    @settings(**_SETTINGS)
+    def test_wrong_tag_never_misdecodes(self, frame, tag):
+        """Rewriting the op byte either raises the typed wire error or
+        decodes canonically as the other op — never crashes, never parses
+        one op's body as another's silently."""
+        op, fields = frame
+        encoded = bytearray(wire.encode_provider_request(op, fields))
+        encoded[1] = tag
+        mutated = bytes(encoded)
+        try:
+            decoded_op, decoded_fields = wire.decode_provider_request(mutated)
+        except wire.WireFormatError:
+            return
+        assert (
+            wire.encode_provider_request(decoded_op, decoded_fields) == mutated
+        )
+
+    def test_unknown_op_rejected(self):
+        frame = wire.encode_provider_request(
+            wire.PROV_BACKUP_COUNT, {"username": "u"}
+        )
+        for bad_op in (0, 99, 255):
+            mutated = bytes([frame[0], bad_op]) + frame[2:]
+            with pytest.raises(wire.WireFormatError):
+                wire.decode_provider_request(mutated)
+
+    def test_bad_version_rejected(self):
+        frame = wire.encode_provider_request(
+            wire.PROV_NEXT_ATTEMPT, {"username": "u"}
+        )
+        with pytest.raises(wire.WireFormatError):
+            wire.decode_provider_request(bytes([7]) + frame[1:])
+
+    def test_mismatched_fields_refused_on_encode(self):
+        with pytest.raises(wire.WireFormatError):
+            wire.encode_provider_request(wire.PROV_NEXT_ATTEMPT, {"user": "u"})
+        with pytest.raises(wire.WireFormatError):
+            wire.encode_provider_request(200, {})
+
+    @given(junk=st.binary(max_size=96))
+    @settings(**_SETTINGS)
+    def test_junk_raises_only_the_typed_wire_error(self, junk):
+        try:
+            op, fields = wire.decode_provider_request(junk)
+        except wire.WireFormatError:
+            return
+        assert wire.encode_provider_request(op, fields) == junk
+
+
+class TestProviderReplyWire:
+    """Every provider RPC reply kind round-trips and rejects malformation."""
+
+    @given(frame=provider_replies())
+    @settings(**_SETTINGS)
+    def test_roundtrip_and_mangling(self, frame):
+        kind, fields = frame
+        encoded = wire.encode_provider_reply(kind, fields)
+        decoded_kind, decoded_fields = wire.decode_provider_reply(encoded)
+        assert decoded_kind == kind
+        assert {n: _normalized(v) for n, v in decoded_fields.items()} == {
+            n: _normalized(v) for n, v in fields.items()
+        }
+        _assert_rejects_mangling(encoded, wire.decode_provider_reply)
+
+    @given(frame=provider_replies(), tag=st.integers(min_value=0, max_value=255))
+    @settings(**_SETTINGS)
+    def test_wrong_tag_never_misdecodes(self, frame, tag):
+        kind, fields = frame
+        encoded = bytearray(wire.encode_provider_reply(kind, fields))
+        encoded[1] = tag
+        mutated = bytes(encoded)
+        try:
+            decoded_kind, decoded_fields = wire.decode_provider_reply(mutated)
+        except wire.WireFormatError:
+            return
+        assert (
+            wire.encode_provider_reply(decoded_kind, decoded_fields) == mutated
+        )
+
+    @given(status=st.sampled_from(wire._PROVIDER_ERROR_STATUSES), message=st.text(max_size=48))
+    @settings(**_SETTINGS)
+    def test_error_frame_roundtrip(self, status, message):
+        encoded = wire.encode_provider_error(status, message)
+        kind, fields = wire.decode_provider_reply(encoded)
+        assert kind == wire.PROV_REPLY_ERROR
+        assert fields == {"status": status, "message": message}
+        _assert_rejects_mangling(encoded, wire.decode_provider_reply)
+
+    def test_unknown_error_status_rejected(self):
+        with pytest.raises(wire.WireFormatError):
+            wire.encode_provider_error(42, "nope")
+        encoded = bytearray(wire.encode_provider_error(wire.PROV_ERR_PROVIDER, "x"))
+        encoded[2] = 42  # the status byte follows [version, kind]
+        with pytest.raises(wire.WireFormatError):
+            wire.decode_provider_reply(bytes(encoded))
+
+    @given(junk=st.binary(max_size=96))
+    @settings(**_SETTINGS)
+    def test_junk_raises_only_the_typed_wire_error(self, junk):
+        try:
+            kind, fields = wire.decode_provider_reply(junk)
+        except wire.WireFormatError:
+            return
+        assert wire.encode_provider_reply(kind, fields) == junk
+
+
 class TestDecryptRequestWire:
     @given(request=decrypt_requests())
     @settings(**_SETTINGS)
