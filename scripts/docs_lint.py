@@ -1,14 +1,10 @@
 #!/usr/bin/env python3
-"""Docstring lint for the packages the docs satellites promise are documented.
+"""Docstring lint — thin shim over ``repro.lintkit``'s docstring pass.
 
-Zero-dependency (AST-based) replacement for pydocstyle, tuned to this
-repo's contract:
-
-- every module has a module docstring of at least ``MIN_MODULE`` characters
-  (long enough to state the module's role and its thread-safety contract);
-- every public class, function, and method has a docstring (single-line is
-  fine; ``_private`` names, dunders, and ``@overload``/property *setters*
-  are exempt).
+The docstring contract (module docstrings >= 120 chars, public API
+documented) now lives in :mod:`repro.lintkit.docs` and runs as part of
+``scripts/repro_lint.py`` in CI.  This script keeps the old entry point
+and output format working for anything that still invokes it directly.
 
 Usage:  python scripts/docs_lint.py src/repro/service src/repro/log src/repro/core/wire.py
 Exit status 1 (with a per-finding listing) if anything is missing.
@@ -16,56 +12,15 @@ Exit status 1 (with a per-finding listing) if anything is missing.
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-MIN_MODULE = 120  # characters — a one-liner is not a module contract
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _decorator_names(node: ast.AST):
-    for decorator in getattr(node, "decorator_list", []):
-        target = decorator.func if isinstance(decorator, ast.Call) else decorator
-        if isinstance(target, ast.Attribute):
-            yield target.attr
-        elif isinstance(target, ast.Name):
-            yield target.id
-
-
-def _check_callable(node, qualname: str, findings, path: Path) -> None:
-    if "setter" in _decorator_names(node) or "deleter" in _decorator_names(node):
-        return  # the getter carries the docstring
-    if ast.get_docstring(node) is None:
-        findings.append(f"{path}:{node.lineno}: missing docstring on `{qualname}`")
-
-
-def lint_file(path: Path, findings: list) -> None:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    module_doc = ast.get_docstring(tree)
-    if module_doc is None:
-        findings.append(f"{path}:1: missing module docstring")
-    elif len(module_doc) < MIN_MODULE:
-        findings.append(
-            f"{path}:1: module docstring too thin ({len(module_doc)} chars; "
-            f"state the module's role and thread-safety contract, >= {MIN_MODULE})"
-        )
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_public(node.name):
-            _check_callable(node, node.name, findings, path)
-        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
-            if ast.get_docstring(node) is None:
-                findings.append(
-                    f"{path}:{node.lineno}: missing docstring on class `{node.name}`"
-                )
-            for member in node.body:
-                if isinstance(
-                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
-                ) and _is_public(member.name):
-                    _check_callable(member, f"{node.name}.{member.name}", findings, path)
+from repro.lintkit.docs import MIN_MODULE, DocstringPass  # noqa: E402,F401
+from repro.lintkit.engine import ScanContext, collect_files, run_passes  # noqa: E402
 
 
 def main(argv) -> int:
@@ -74,16 +29,16 @@ def main(argv) -> int:
         Path("src/repro/log"),
         Path("src/repro/core/wire.py"),
     ]
-    findings: list = []
-    checked = 0
-    for root in roots:
-        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        for file in files:
-            lint_file(file, findings)
-            checked += 1
-    if findings:
-        print("\n".join(findings))
-        print(f"\ndocs lint: {len(findings)} finding(s) in {checked} file(s)")
+    root = Path.cwd()
+    files = collect_files(root, roots)
+    ctx = ScanContext(root, files)
+    # include=("",) matches every scanned file: the caller chose the roots.
+    report = run_passes(ctx, [DocstringPass(include=("",))])
+    checked = report.files_scanned
+    if report.findings:
+        for finding in report.findings:
+            print(f"{finding.path}:{finding.line}: {finding.message}")
+        print(f"\ndocs lint: {len(report.findings)} finding(s) in {checked} file(s)")
         return 1
     print(f"docs lint: {checked} file(s) clean")
     return 0

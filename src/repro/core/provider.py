@@ -28,6 +28,14 @@ class ProviderError(Exception):
 class ServiceProvider:
     """Untrusted data-center operator."""
 
+    #: Lock contract, checked by `repro.lintkit`'s lock-discipline pass:
+    #: the incremental attempt counters are the only state the provider
+    #: mutates from concurrent sessions (see the contention test suite).
+    _GUARDED_BY = {
+        "_attempt_counters": "_attempt_lock",
+        "_attempt_generation": "_attempt_lock",
+    }
+
     def __init__(self, log_config: Optional[LogConfig] = None) -> None:
         config = log_config or LogConfig()
         # num_shards > 1 partitions the log into independent epoch lanes
@@ -104,6 +112,7 @@ class ServiceProvider:
             counters[username] = max(counters.get(username, 0), attempt + 1)
         return identifier
 
+    # lint: unguarded[every caller takes self._attempt_lock first — this helper exists so the generation check runs under that one lock]
     def _current_counters(self) -> Dict[str, int]:
         """The counters for the live log generation (caller holds the lock)."""
         if self._attempt_generation != self.log.garbage_collections:

@@ -12,6 +12,7 @@ import secrets
 from typing import Iterable, List, Sequence, Tuple
 
 
+# lint: unmetered[inversions are priced inside the callers' metered ops (ec_mult, ecdsa_verify); a new meter op would shift the exact op-count snapshots]
 def batch_inverse_mod(values: Sequence[int], modulus: int) -> List[int]:
     """Montgomery's batch-inversion trick: invert ``k`` nonzero residues
     with ONE modular inversion plus ``3(k-1)`` multiplications.
@@ -159,6 +160,7 @@ class PrimeField:
             acc = acc * x + coeff
         return acc
 
+    # lint: unmetered[thin wrapper over batch_inverse_mod; same pricing rationale — callers meter the enclosing curve/verify op]
     def batch_inverse(self, elements: Sequence[FieldElement]) -> List[FieldElement]:
         """Invert many field elements with one modular inversion
         (:func:`batch_inverse_mod`); identical results to per-element
@@ -168,6 +170,7 @@ class PrimeField:
             for v in batch_inverse_mod([e.value for e in elements], self.modulus)
         ]
 
+    # lint: unmetered[Shamir recombination is field-only work; the paper's cost model meters curve and AE ops, not GF(p) interpolation]
     def lagrange_interpolate_at_zero(
         self, points: Iterable[Tuple[FieldElement, FieldElement]]
     ) -> FieldElement:

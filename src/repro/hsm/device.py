@@ -110,6 +110,13 @@ class StolenSecrets:
 class HsmDevice:
     """One hardware security module in the fleet."""
 
+    #: Lock contract, checked by `repro.lintkit`'s lock-discipline pass:
+    #: the foreign-transition inbox is the only cross-thread state (epoch
+    #: lanes push offers while this device's worker drains them).
+    _GUARDED_BY = {
+        "_pending_foreign": "_offer_lock",
+    }
+
     def __init__(
         self,
         index: int,

@@ -84,6 +84,22 @@ class EpochTicket:
 class EpochBatcher:
     """Accumulates pending log insertions; commits one epoch per tick."""
 
+    #: Lock contract, checked by `repro.lintkit`'s lock-discipline pass:
+    #: every listed attribute may only be written inside a ``with`` block
+    #: over one of its locks (``_drained`` is a Condition wrapping
+    #: ``_lock``, so holding either serializes the same state).
+    _GUARDED_BY = {
+        "_waiters": ("_lock", "_drained"),
+        "_leases": ("_lock", "_drained"),
+        "epochs_run": ("_lock", "_drained"),
+        "entries_committed": ("_lock", "_drained"),
+        "sessions_served": ("_lock", "_drained"),
+        "lease_timeouts": ("_lock", "_drained"),
+        "epoch_failures": ("_lock", "_drained"),
+        "epoch_sessions": ("_lock", "_drained"),
+        "epoch_digests": ("_lock", "_drained"),
+    }
+
     def __init__(
         self,
         provider: ServiceProvider,
@@ -197,6 +213,7 @@ class EpochBatcher:
                 ticket.resolve((identifier, proof))
         return len(waiters)
 
+    # lint: unguarded[called only from tick(), which already holds self._drained for the whole epoch — see the docstring below]
     def _tick_shard_lanes(self, waiters: List[Tuple], num_shards: int) -> int:
         """One tick over a sharded log: fan out, join, publish one root.
 

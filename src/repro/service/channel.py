@@ -428,6 +428,13 @@ class WireProviderChannel(ProviderChannel):
     stateless pass-through otherwise and safe to share across threads.
     """
 
+    #: Lock contract, checked by `repro.lintkit`'s lock-discipline pass.
+    _GUARDED_BY = {
+        "frames_sent": "_counter_lock",
+        "bytes_sent": "_counter_lock",
+        "bytes_received": "_counter_lock",
+    }
+
     def __init__(self, transport) -> None:
         if isinstance(transport, ProviderWireEndpoint):
             transport = transport.handle
