@@ -18,6 +18,8 @@ from repro.core.provider import ServiceProvider
 from repro.hsm.fleet import HsmFleet
 from repro.log.distributed import BlsMultiSig, EcdsaMultiSig, MultiSigScheme
 from repro.log.membership import MembershipRegistry, MembershipVerifier
+from repro.storage.blockstore import BlockStore
+from repro.storage.journal import ProviderJournal, reconcile_open_intents
 
 
 class Deployment:
@@ -28,15 +30,23 @@ class Deployment:
         params: SystemParams,
         fleet: HsmFleet,
         provider: ServiceProvider,
+        restored: bool = False,
     ) -> None:
+        """``restored=True`` (the :meth:`restore` path) skips genesis
+        provisioning: the membership events and their certifying epoch are
+        already in the restored log, so re-recording them would violate the
+        log's write-once identifiers."""
         self.params = params
         self.fleet = fleet
         self.provider = provider
         self.clients: List[Client] = []
         # §6 third use: membership changes are logged before taking effect.
         self.membership = MembershipRegistry(provider.log)
-        self.membership.record_fleet(fleet.master_public_key())
-        provider.log.run_update(fleet.hsms)
+        if restored:
+            self.membership.resume_from(provider.log.dict.items())
+        else:
+            self.membership.record_fleet(fleet.master_public_key())
+            provider.log.run_update(fleet.hsms)
 
     # -- construction ---------------------------------------------------------
     @staticmethod
@@ -45,6 +55,7 @@ class Deployment:
         multisig: Optional[MultiSigScheme] = None,
         rng: Optional[random.Random] = None,
         shards: Optional[int] = None,
+        store: Optional[BlockStore] = None,
     ) -> "Deployment":
         """Provision a deployment: HSM keygen, signer directory, log wiring.
 
@@ -54,12 +65,17 @@ class Deployment:
         ``shards`` overrides ``params.log_shards``: ``shards >= 2``
         provisions a sharded log from genesis (devices track one digest
         per lane; see ``repro.log.sharded``), so no migration is needed.
+
+        ``store`` opts into durability: the provider journals every escrow
+        mutation, outsourced HSM block, and committed epoch to it, and
+        :meth:`restore` rebuilds the whole deployment from the same store
+        after a crash.
         """
         if shards is not None:
             import dataclasses
 
             params = dataclasses.replace(params, log_shards=shards)
-        provider = ServiceProvider(params.log_config())
+        provider = ServiceProvider(params.log_config(), store=store)
         fleet = HsmFleet(
             num_hsms=params.num_hsms,
             bloom_params=params.bloom_params(),
@@ -70,6 +86,39 @@ class Deployment:
         )
         provider.install_update_runner(lambda: provider.log.run_update(fleet.hsms))
         return Deployment(params=params, fleet=fleet, provider=provider)
+
+    @staticmethod
+    def restore(
+        params: SystemParams,
+        store: BlockStore,
+        fleet: HsmFleet,
+        shards: Optional[int] = None,
+    ) -> "Deployment":
+        """Rebuild a crashed deployment from its durable journal.
+
+        Models the paper's restart reality: the provider *process* died
+        (losing all memory), but the block store and the HSM fleet —
+        separate trusted hardware whose keys and digests live inside their
+        tamper boundaries — survived.  The journal is replayed (verifying
+        the WAL chain, so corrupted / swapped / replayed blocks are
+        detected, never silently restored), any epoch left half-committed
+        by the crash is reconciled against the fleet's digests (completed
+        if any committee device adopted it, rolled back otherwise — the
+        epoch is atomic either way), each device is re-pointed at its
+        re-hosted key blocks, and the service wiring is rebuilt.
+        """
+        if shards is not None:
+            import dataclasses
+
+            params = dataclasses.replace(params, log_shards=shards)
+        journal = ProviderJournal(store)
+        state = journal.replay_state()
+        reconcile_open_intents(state, journal, fleet.hsms)
+        provider = ServiceProvider.restore(params.log_config(), journal, state)
+        for hsm in fleet.hsms:
+            hsm.rehost_store(provider.storage_for_hsm(hsm.index))
+        provider.install_update_runner(lambda: provider.log.run_update(fleet.hsms))
+        return Deployment(params=params, fleet=fleet, provider=provider, restored=True)
 
     # -- clients -----------------------------------------------------------------
     def new_client(
@@ -138,6 +187,12 @@ class Deployment:
         """
         from repro.log.sharded import ShardedLog
 
+        if self.provider.journal is not None:
+            raise ValueError(
+                "resharding a durable deployment is not supported: provision"
+                " the final shard count up front (Deployment.create(shards=S,"
+                " store=...))"
+            )
         self.provider.log = ShardedLog.migrate(
             self.provider.log, shards, self.fleet.hsms
         )

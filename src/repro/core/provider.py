@@ -13,12 +13,19 @@ import threading
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.identifiers import attempt_identifier, user_prefix
+from repro.core.identifiers import attempt_identifier, parse_attempt_identifier, user_prefix
 from repro.core.lhe import LheCiphertext
-from repro.log.authdict import InclusionProof
+from repro.log.authdict import AuthenticatedDictionary, InclusionProof
 from repro.log.distributed import DistributedLog, LogConfig
 from repro.log.sharded import ShardedLog
-from repro.storage.blockstore import InMemoryBlockStore
+from repro.storage.blockstore import BlockStore, InMemoryBlockStore
+from repro.storage.journal import (
+    JournaledBlockStore,
+    ProviderJournal,
+    RestoredState,
+    StoredTransition,
+    encode_aggregate_auto,
+)
 
 
 class ProviderError(Exception):
@@ -36,11 +43,26 @@ class ServiceProvider:
         "_attempt_generation": "_attempt_lock",
     }
 
-    def __init__(self, log_config: Optional[LogConfig] = None) -> None:
+    def __init__(
+        self,
+        log_config: Optional[LogConfig] = None,
+        store: Optional[BlockStore] = None,
+    ) -> None:
+        """``store`` opts into durability: every escrow mutation, outsourced
+        HSM block, and committed log epoch is journaled to it
+        (``repro.storage.journal``), and ``Deployment.restore`` rebuilds
+        the provider from it after a crash.  None (the default) keeps the
+        provider purely in-memory with zero extra metered work."""
         config = log_config or LogConfig()
         # num_shards > 1 partitions the log into independent epoch lanes
         # (see repro.log.sharded); 1 keeps the paper's single digest chain.
         self.log = ShardedLog(config) if config.num_shards > 1 else DistributedLog(config)
+        # Durability journal (None = in-memory only).  Attached before any
+        # mutation so provisioning itself (HSM key blocks, genesis epochs)
+        # is replayable.
+        self.journal: Optional[ProviderJournal] = None
+        if store is not None:
+            self.attach_journal(ProviderJournal(store))
         # username -> list of uploaded recovery ciphertexts (newest last)
         self._backups: Dict[str, List[LheCiphertext]] = defaultdict(list)
         # username -> AE-encrypted incremental backup blobs (§8)
@@ -61,6 +83,11 @@ class ServiceProvider:
         self._attempt_lock = threading.Lock()
 
     # -- wiring ---------------------------------------------------------------
+    def attach_journal(self, journal: ProviderJournal) -> None:
+        """Wire a durability journal into the provider and its log."""
+        self.journal = journal
+        self.log.journal = journal
+
     def install_update_runner(self, runner: Callable[[], None]) -> None:
         self._update_runner = runner
 
@@ -74,6 +101,8 @@ class ServiceProvider:
     def upload_backup(self, username: str, ciphertext: LheCiphertext) -> int:
         """Store a recovery ciphertext; returns its index for this user."""
         self._backups[username].append(ciphertext)
+        if self.journal is not None:
+            self.journal.record_backup(username, ciphertext)
         return len(self._backups[username]) - 1
 
     def fetch_backup(self, username: str, index: int = -1) -> LheCiphertext:
@@ -98,6 +127,8 @@ class ServiceProvider:
 
     def upload_incremental(self, username: str, blob: bytes) -> None:
         self._incrementals[username].append(blob)
+        if self.journal is not None:
+            self.journal.record_incremental(username, blob)
 
     def fetch_incrementals(self, username: str) -> List[bytes]:
         return list(self._incrementals.get(username, []))
@@ -200,12 +231,142 @@ class ServiceProvider:
     # -- recovery-reply escrow (§8 failure handling) --------------------------------------
     def store_reply(self, username: str, attempt: int, encrypted_reply: bytes) -> None:
         self._replies[(username, attempt)].append(encrypted_reply)
+        if self.journal is not None:
+            self.journal.record_reply(username, attempt, encrypted_reply)
 
     def fetch_replies(self, username: str, attempt: int) -> List[bytes]:
         return list(self._replies.get((username, attempt), []))
 
+    # -- durability: snapshot / restore ------------------------------------------------------
+    def _shard_logs(self) -> List[Tuple[int, DistributedLog]]:
+        """The underlying per-shard logs as ``(shard_index, log)`` pairs
+        (a one-element list for the unsharded ``DistributedLog``)."""
+        if isinstance(self.log, ShardedLog):
+            return list(enumerate(self.log.shards))
+        return [(0, self.log)]
+
+    def export_state(self) -> RestoredState:
+        """The provider's durable state as one snapshot-able value.
+
+        Captures exactly what the journal would reconstruct by replay:
+        committed entries, epochs, certified transitions, escrow, and HSM
+        blocks.  Pending batches, leases, and attempt counters are *not*
+        durable and are excluded by design.
+        """
+        num_shards = getattr(self.log, "num_shards", 1)
+        state = RestoredState(
+            num_shards=num_shards,
+            garbage_collections=self.log.garbage_collections,
+            backups={u: list(cts) for u, cts in self._backups.items() if cts},
+            incrementals={u: list(bs) for u, bs in self._incrementals.items() if bs},
+            replies={k: list(bs) for k, bs in self._replies.items() if bs},
+            hsm_blocks={
+                index: dict(store._blocks)
+                for index, store in self.hsm_stores.items()
+            },
+        )
+        for shard, log in self._shard_logs():
+            state.shard_entries[shard] = list(log.ordered_entries)
+            state.shard_epochs[shard] = log.epoch
+            stored = []
+            for t in log.certified_transitions:
+                scheme, aggregate = encode_aggregate_auto(t.aggregate)
+                stored.append(
+                    StoredTransition(
+                        old_digest=t.old_digest,
+                        new_digest=t.new_digest,
+                        root=t.root,
+                        signer_ids=tuple(t.signer_ids),
+                        scheme=scheme,
+                        aggregate=aggregate,
+                    )
+                )
+            state.shard_transitions[shard] = stored
+        return state
+
+    def snapshot(self) -> int:
+        """Write a snapshot record and compact the journal behind it.
+
+        Returns the snapshot's WAL sequence number.  Callers quiesce the
+        service first (stop the ticker / hold the batcher lock): snapshots
+        are taken between epochs, never mid-transaction.
+        """
+        if self.journal is None:
+            raise ProviderError("provider has no durability journal")
+        return self.journal.write_snapshot(self.export_state())
+
+    @classmethod
+    def restore(
+        cls,
+        log_config: Optional[LogConfig],
+        journal: ProviderJournal,
+        state: RestoredState,
+    ) -> "ServiceProvider":
+        """Rebuild a provider from a replayed (and reconciled) journal.
+
+        ``state`` must have no open intents left (run
+        :func:`repro.storage.journal.reconcile_open_intents` first).
+        Attempt counters are re-derived from the restored log entries;
+        pending batches are gone by design (their sessions never received
+        inclusion proofs and will re-submit).
+        """
+        config = log_config or LogConfig()
+        if state.open_intents:
+            raise ProviderError(
+                "cannot restore with unresolved epoch intents (reconcile first)"
+            )
+        if state.num_shards not in (1, config.num_shards):
+            raise ProviderError(
+                f"journal holds {state.num_shards}-shard state but the config"
+                f" says {config.num_shards} shards"
+            )
+        provider = cls(config)
+        for shard, log in provider._shard_logs():
+            entries = state.shard_entries.get(shard, [])
+            log.ordered_entries = list(entries)
+            log.dict = AuthenticatedDictionary.from_entries(entries)
+            log.epoch = state.shard_epochs.get(shard, 0)
+            log.certified_transitions = [
+                t.to_certified(shard, config.num_shards)
+                for t in state.shard_transitions.get(shard, [])
+            ]
+            log.round_history = [
+                (t.old_digest, t.new_digest, t.root)
+                for t in state.shard_transitions.get(shard, [])
+            ]
+        provider.log.garbage_collections = state.garbage_collections
+        for username, ciphertexts in state.backups.items():
+            provider._backups[username] = list(ciphertexts)
+        for username, blobs in state.incrementals.items():
+            provider._incrementals[username] = list(blobs)
+        for key, blobs in state.replies.items():
+            provider._replies[key] = list(blobs)
+        for index, blocks in state.hsm_blocks.items():
+            provider.hsm_stores[index] = JournaledBlockStore.preloaded(
+                journal, index, blocks
+            )
+        # Attempt counters are re-derived, not journaled: the committed log
+        # is the ground truth for which slots are burnt (pending slots were
+        # never served, so under-counting them only re-burns nothing).
+        with provider._attempt_lock:
+            provider._attempt_generation = provider.log.garbage_collections
+            for identifier, _ in provider.log.dict.items():
+                try:
+                    username, attempt = parse_attempt_identifier(identifier)
+                except ValueError:
+                    continue
+                provider._attempt_counters[username] = max(
+                    provider._attempt_counters.get(username, 0), attempt + 1
+                )
+        provider.attach_journal(journal)
+        return provider
+
     # -- outsourced HSM key storage ----------------------------------------------------------
     def storage_for_hsm(self, index: int) -> InMemoryBlockStore:
         if index not in self.hsm_stores:
-            self.hsm_stores[index] = InMemoryBlockStore()
+            self.hsm_stores[index] = (
+                JournaledBlockStore(self.journal, index)
+                if self.journal is not None
+                else InMemoryBlockStore()
+            )
         return self.hsm_stores[index]

@@ -173,6 +173,18 @@ class HsmDevice:
         """Install the fleet's signature public keys (run once at setup)."""
         self._sig_directory = dict(directory)
 
+    def rehost_store(self, store: BlockStore) -> None:
+        """Re-point this device at a (restored) provider-hosted block store.
+
+        The device's root AES key never leaves its tamper boundary, so
+        after a provider restart it can keep using its outsourced key array
+        as long as the provider re-hosts the same blocks — integrity of
+        every block read is still checked by the secure-deletion tree's
+        authenticated encryption, exactly as before the crash.
+        """
+        self._store = store
+        self._bfe_secret.tree._store = store
+
     @property
     def num_shards(self) -> int:
         """How many shard lanes this device tracks (1 = unsharded)."""

@@ -10,9 +10,10 @@ remains as a thin shim).  The contract is unchanged:
   fine); ``_private`` names, dunders, and property ``setter``/``deleter``
   halves are exempt.
 
-Scope defaults to the packages whose docstrings PR 4 promised:
-``service/``, ``log/``, and ``core/wire.py``.  Rule ids:
-``docstring-missing`` and ``docstring-thin`` (suppression alias ``docs``).
+Scope defaults to the packages whose docstrings PR 4 promised —
+``service/``, ``log/``, and ``core/wire.py`` — plus the durability layer
+``storage/``.  Rule ids: ``docstring-missing`` and ``docstring-thin``
+(suppression alias ``docs``).
 """
 
 from __future__ import annotations
@@ -24,7 +25,12 @@ from repro.lintkit.engine import Finding, LintPass, ScanContext
 
 MIN_MODULE = 120  # characters — a one-liner is not a module contract
 
-_DEFAULT_SCOPES = ("src/repro/service/", "src/repro/log/", "src/repro/core/wire.py")
+_DEFAULT_SCOPES = (
+    "src/repro/service/",
+    "src/repro/log/",
+    "src/repro/core/wire.py",
+    "src/repro/storage/",
+)
 
 
 def _is_public(name: str) -> bool:

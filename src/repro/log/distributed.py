@@ -389,6 +389,18 @@ class DistributedLog:
         self.archived_logs: List[List[Tuple[bytes, bytes]]] = []
         self.round_history: List[Tuple[bytes, bytes, bytes]] = []
         self.certified_transitions: List[CertifiedTransition] = []
+        # Optional durability hook (repro.storage.journal.ProviderJournal):
+        # when set, run_update write-ahead-journals every epoch as
+        # intent -> commit/rollback and garbage_collect journals its reset.
+        # None (the default) keeps the log purely in-memory, byte-identical
+        # to the pre-durability behavior.
+        self.journal = None
+        # Handshake between run_update (which knows the intent's WAL seq)
+        # and certify_round (which writes the commit record *before* the
+        # acceptance fan-out, so the quorum decision is durable before any
+        # device is exposed to it).
+        self._journal_intent: Optional[int] = None
+        self._journal_committed = False
 
     # -- client-facing ----------------------------------------------------------
     @property
@@ -486,11 +498,34 @@ class DistributedLog:
         entries_before = len(self.ordered_entries)
         pending_before = list(self.pending)
         round_ = self.prepare_update(num_chunks=max(1, len(online)))
+        # Write-ahead: the intent (with the entries this epoch applies) is
+        # durable before any HSM is asked to certify, so a crash leaves at
+        # most one unresolved intent for this lane and restart reconciles
+        # it against the fleet (repro.storage.journal).
+        intent_seq = None
+        if self.journal is not None:
+            intent_seq = self.journal.record_intent(
+                self.shard_index,
+                self.num_shards,
+                round_.old_digest,
+                round_.new_digest,
+                round_.root,
+                self.ordered_entries[entries_before:],
+            )
+        self._journal_intent = intent_seq
+        self._journal_committed = False
         try:
             self.certify_round(round_, hsms)
         except Exception:
             self._rollback_failed_round(entries_before, pending_before)
+            # A crash (or failure) before the commit record landed rolls the
+            # intent back; after it landed the epoch is already durable and
+            # the journal must not contradict it.
+            if intent_seq is not None and not self._journal_committed:
+                self.journal.record_rollback(self.shard_index, intent_seq)
             raise
+        finally:
+            self._journal_intent = None
 
     def _rollback_failed_round(
         self, entries_before: int, pending_before: List[Tuple[bytes, bytes]]
@@ -570,6 +605,15 @@ class DistributedLog:
             num_shards=round_.num_shards,
         )
         self.certified_transitions.append(transition)
+        # Durability: the commit record (with the quorum aggregate) lands
+        # *before* any device accepts d'.  An intent left open by a crash
+        # therefore proves no device moved — restart can roll it back
+        # without consulting signatures — and every committed transition is
+        # replayable with its aggregate intact, so restored logs can serve
+        # catch_up / cross-lane healing to devices that missed the fan-out.
+        if self.journal is not None and self._journal_intent is not None:
+            self.journal.record_commit(self.shard_index, self._journal_intent, transition)
+            self._journal_committed = True
         try:
             for hsm in online:
                 try:
@@ -642,3 +686,5 @@ class DistributedLog:
         self.ordered_entries = []
         self.pending = []
         self.garbage_collections += 1
+        if self.journal is not None:
+            self.journal.record_gc(self.garbage_collections)

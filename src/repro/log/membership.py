@@ -90,6 +90,17 @@ class MembershipRegistry:
         """Point the registry at a replacement log (e.g. after resharding)."""
         self._log = log
 
+    def resume_from(self, entries: Sequence[Tuple[bytes, bytes]]) -> None:
+        """Continue numbering past the events already in a restored log.
+
+        A restarted provider (``Deployment.restore``) must not reuse a
+        sequence number: identifiers are write-once, so a collision would
+        make every future membership event unrecordable.
+        """
+        events = MembershipVerifier.events_from_log(list(entries))
+        if events:
+            self._sequence = events[-1].sequence + 1
+
     def record(self, action: str, hsm_index: int, key_epoch: int, key_commitment: bytes) -> MembershipEvent:
         """Queue one membership event as a pending log insertion."""
         event = MembershipEvent(

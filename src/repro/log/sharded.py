@@ -174,6 +174,18 @@ class ShardedLog:
         self.dict = _CombinedDictView(self)
         self.garbage_collections = 0
         self.archived_logs: List[List[Tuple[bytes, bytes]]] = []
+        self._journal = None
+
+    @property
+    def journal(self):
+        """The durability journal shared by every shard lane (or None)."""
+        return self._journal
+
+    @journal.setter
+    def journal(self, journal) -> None:
+        self._journal = journal
+        for shard in self.shards:
+            shard.journal = journal
 
     # -- routing ---------------------------------------------------------------
     def shard_for(self, identifier: bytes) -> DistributedLog:
@@ -341,6 +353,8 @@ class ShardedLog:
             shard.ordered_entries = []
             shard.pending = []
         self.garbage_collections += 1
+        if self._journal is not None:
+            self._journal.record_gc(self.garbage_collections)
 
     # -- migration from an unsharded log ----------------------------------------
     @staticmethod

@@ -52,29 +52,71 @@ class ServiceTimeout(ProviderError):
 
 
 class EpochTicket:
-    """One session's claim on the next epoch; resolves to (id, proof)."""
+    """One session's claim on the next epoch; resolves to (id, proof).
+
+    A ticket whose ``wait`` times out is *abandoned*: the session has
+    already raised :class:`ServiceTimeout` and walked away, so the epoch
+    that eventually serves the batch must not take an epoch lease on its
+    behalf — nobody is left to ``release`` it, and an unreleased lease
+    stalls the next tick for the full ``lease_timeout``.  ``resolve`` /
+    ``fail`` report whether they landed (``False`` = already abandoned);
+    abandonment and resolution race under ``_lock``, so exactly one side
+    wins.
+    """
 
     def __init__(self) -> None:
         self._done = threading.Event()
         self._result: Optional[Tuple[bytes, object]] = None
         self._error: Optional[Exception] = None
+        self._lock = threading.Lock()
+        self._abandoned = False
 
-    def resolve(self, result: Tuple[bytes, object]) -> None:
-        """Fulfil the ticket with ``(identifier, inclusion proof)``."""
-        self._result = result
-        self._done.set()
+    @property
+    def abandoned(self) -> bool:
+        """True once ``wait`` timed out and the session gave up."""
+        with self._lock:
+            return self._abandoned
 
-    def fail(self, error: Exception) -> None:
-        """Fail the ticket; ``wait`` re-raises ``error`` on the session."""
-        self._error = error
-        self._done.set()
+    def resolve(self, result: Tuple[bytes, object]) -> bool:
+        """Fulfil the ticket with ``(identifier, inclusion proof)``.
+
+        Returns ``False`` (and discards the result) if the session already
+        abandoned the ticket — the caller must then skip the epoch lease.
+        """
+        with self._lock:
+            if self._abandoned:
+                return False
+            self._result = result
+            self._done.set()
+            return True
+
+    def fail(self, error: Exception) -> bool:
+        """Fail the ticket; ``wait`` re-raises ``error`` on the session.
+
+        Returns ``False`` if the session already abandoned the ticket.
+        """
+        with self._lock:
+            if self._abandoned:
+                return False
+            self._error = error
+            self._done.set()
+            return True
 
     def wait(self, timeout: Optional[float] = None) -> Tuple[bytes, object]:
-        """Block until an epoch serves this ticket (or ``timeout`` lapses)."""
+        """Block until an epoch serves this ticket (or ``timeout`` lapses).
+
+        On timeout the ticket is marked abandoned before raising, unless a
+        resolution raced in between the wait lapsing and the mark — in that
+        case the (just-arrived) result is returned normally.
+        """
         if not self._done.wait(timeout):
-            raise ServiceTimeout(
-                f"no log epoch committed within {timeout}s (is the ticker running?)"
-            )
+            with self._lock:
+                if not self._done.is_set():
+                    self._abandoned = True
+                    raise ServiceTimeout(
+                        f"no log epoch committed within {timeout}s"
+                        " (is the ticker running?)"
+                    )
         if self._error is not None:
             raise self._error
         assert self._result is not None
@@ -98,6 +140,7 @@ class EpochBatcher:
         "epoch_failures": ("_lock", "_drained"),
         "epoch_sessions": ("_lock", "_drained"),
         "epoch_digests": ("_lock", "_drained"),
+        "abandoned_sessions": ("_lock", "_drained"),
     }
 
     def __init__(
@@ -134,6 +177,9 @@ class EpochBatcher:
         self.sessions_served = 0
         self.lease_timeouts = 0
         self.epoch_failures = 0
+        #: sessions that timed out in ``wait`` before their epoch landed —
+        #: served without a lease (the waiter is gone; see EpochTicket)
+        self.abandoned_sessions = 0
         #: sessions served per epoch, newest-last (stress tests assert on it)
         self.epoch_sessions: Deque[int] = deque(maxlen=_HISTORY_LIMIT)
         #: digest after each committed epoch (proof-validity cross-checks)
@@ -145,14 +191,21 @@ class EpochBatcher:
         return self._lock
 
     def submit(self, username: str, attempt: int, commitment: bytes) -> EpochTicket:
-        """Queue one log insertion for the next epoch."""
+        """Queue one log insertion for the next epoch.
+
+        A rejected insertion fails the ticket instead of raising: KeyError
+        for a duplicate identifier, ValueError for a malformed session
+        (``attempt_identifier`` refuses reserved characters in the username
+        and negative attempt numbers).  Either way the caller gets a
+        :class:`ProviderError` from ``wait`` and the batch is unaffected.
+        """
         ticket = EpochTicket()
         with self._lock:
             try:
                 identifier = self._provider.log_recovery_attempt(
                     username, attempt, commitment
                 )
-            except KeyError as exc:
+            except (KeyError, ValueError) as exc:
                 ticket.fail(ProviderError(str(exc)))
                 return ticket
             self._waiters.append((username, attempt, identifier, commitment, ticket))
@@ -201,17 +254,43 @@ class EpochBatcher:
                 return 0
             self.epochs_run += 1
             self.entries_committed += len(waiters)
-            self.epoch_sessions.append(len(waiters))
+            served = self._serve_waiters(waiters)
+            self.epoch_sessions.append(served)
             self.epoch_digests.append(self._provider.log.digest)
-            for username, attempt, identifier, commitment, ticket in waiters:
-                proof = self._provider.log.prove_includes(identifier, commitment)
-                if proof is None:  # pragma: no cover - insert guarantees presence
-                    ticket.fail(ProviderError("inclusion proof unavailable after epoch"))
-                    continue
-                self._leases.add((username, attempt))
-                self.sessions_served += 1
-                ticket.resolve((identifier, proof))
-        return len(waiters)
+            self._journal_publish()
+        return served
+
+    # lint: unguarded[called only with self._drained held (both tick paths)]
+    def _serve_waiters(self, waiters: List[Tuple]) -> int:
+        """Resolve each waiter with its inclusion proof; returns the count
+        actually served.  Called with ``self._drained`` held.
+
+        A ticket whose session already timed out and abandoned it gets no
+        epoch lease — the waiter is gone and would never ``release``, and
+        one leaked lease stalls the next tick for the whole
+        ``lease_timeout`` (its entry is committed regardless; the client
+        retries with a fresh attempt).
+        """
+        served = 0
+        for username, attempt, identifier, commitment, ticket in waiters:
+            proof = self._provider.log.prove_includes(identifier, commitment)
+            if proof is None:  # pragma: no cover - insert guarantees presence
+                ticket.fail(ProviderError("inclusion proof unavailable after epoch"))
+                continue
+            if not ticket.resolve((identifier, proof)):
+                self.abandoned_sessions += 1
+                continue
+            self._leases.add((username, attempt))
+            self.sessions_served += 1
+            served += 1
+        return served
+
+    def _journal_publish(self) -> None:
+        """Record the post-epoch root in the provider's durability journal
+        (no-op for non-durable deployments)."""
+        journal = getattr(self._provider, "journal", None)
+        if journal is not None:
+            journal.record_publish(self._provider.log.digest)
 
     # lint: unguarded[called only from tick(), which already holds self._drained for the whole epoch — see the docstring below]
     def _tick_shard_lanes(self, waiters: List[Tuple], num_shards: int) -> int:
@@ -221,7 +300,11 @@ class EpochBatcher:
         with queued work gets one epoch; a failed shard fails only the
         tickets routed to it, and ``epochs_run``/``epoch_failures`` count
         per shard epoch.  The combined cross-shard root is recorded once,
-        after every lane has settled.
+        after every lane has settled — and only if at least one lane
+        committed, matching the single-log path: a tick where *every* lane
+        failed changed no digest, so appending a history row for it would
+        desynchronize ``epoch_sessions``/``epoch_digests`` from the epochs
+        that actually happened.
         """
         log = self._provider.log
         by_shard: Dict[int, List[Tuple]] = {}
@@ -230,6 +313,7 @@ class EpochBatcher:
         shards_to_run = sorted(set(by_shard) | set(log.shards_with_pending()))
         outcomes = self._shard_runner(shards_to_run)
         served = 0
+        committed_lanes = 0
         for shard in shards_to_run:
             error = outcomes.get(shard)
             shard_waiters = by_shard.get(shard, [])
@@ -242,17 +326,12 @@ class EpochBatcher:
                 continue
             self.epochs_run += 1
             self.entries_committed += len(shard_waiters)
-            for username, attempt, identifier, commitment, ticket in shard_waiters:
-                proof = log.prove_includes(identifier, commitment)
-                if proof is None:  # pragma: no cover - insert guarantees presence
-                    ticket.fail(ProviderError("inclusion proof unavailable after epoch"))
-                    continue
-                self._leases.add((username, attempt))
-                self.sessions_served += 1
-                served += 1
-                ticket.resolve((identifier, proof))
-        self.epoch_sessions.append(served)
-        self.epoch_digests.append(log.digest)
+            committed_lanes += 1
+            served += self._serve_waiters(shard_waiters)
+        if committed_lanes:
+            self.epoch_sessions.append(served)
+            self.epoch_digests.append(log.digest)
+            self._journal_publish()
         return served
 
     def release(self, username: str, attempt: int) -> None:

@@ -159,6 +159,16 @@ class RecoveryService:
         self.provider: ServiceProvider = deployment.provider
         self.epoch_mode = epoch_mode
         self.session_timeout = session_timeout
+        # Stashed so restart() can rebuild an identical service over the
+        # restored deployment.
+        self._ctor_options = dict(
+            transport=transport,
+            epoch_mode=epoch_mode,
+            tick_interval=tick_interval,
+            lease_timeout=lease_timeout,
+            session_timeout=session_timeout,
+            call_timeout=call_timeout,
+        )
         self.pool = HsmWorkerPool(len(deployment.fleet), call_timeout=call_timeout)
         self._call_timeout = call_timeout
         self._epoch_fleet = [_FifoDevice(self.pool, hsm) for hsm in deployment.fleet]
@@ -243,6 +253,33 @@ class RecoveryService:
     def tick(self) -> int:
         """Commit one epoch now (manual mode for deterministic tests)."""
         return self.batcher.tick()
+
+    def restart(self) -> "RecoveryService":
+        """Crash-restart the provider process and return the revived service.
+
+        Models the paper's provider-restart reality: this service's process
+        state (pending batches, leases, attempt reservations) is lost, but
+        the durable block store and the HSM fleet survive.  Stops the
+        workers, rebuilds the deployment from its journal
+        (:meth:`Deployment.restore` — WAL replay plus reconciliation of any
+        epoch the crash left half-committed), and returns a *new* service
+        over the restored deployment with the same construction options
+        (not started; callers ``start()`` it or use it as a context
+        manager).  Clients of the dead service are wired to its defunct
+        queues — create fresh ones via :meth:`new_client` on the returned
+        service.  Raises :class:`ProviderError` for non-durable deployments.
+        """
+        journal = getattr(self.provider, "journal", None)
+        if journal is None:
+            raise ProviderError(
+                "restart requires a durable deployment"
+                " (Deployment.create(..., store=...))"
+            )
+        self.stop()
+        restored = Deployment.restore(
+            self.deployment.params, journal.store, self.deployment.fleet
+        )
+        return RecoveryService(restored, **self._ctor_options)
 
     def run_epoch(self) -> None:
         """One log-update epoch with every device call routed through that

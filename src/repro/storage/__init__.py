@@ -8,14 +8,25 @@ re-keys the root-to-leaf path, after which no provider snapshot plus current
 HSM state can recover the deleted block.
 """
 
-from repro.storage.blockstore import BlockStore, InMemoryBlockStore, TamperingBlockStore
+from repro.storage.blockstore import (
+    BlockStore,
+    CrashError,
+    CrashingBlockStore,
+    InMemoryBlockStore,
+    TamperingBlockStore,
+)
 from repro.storage.securedel import SecureDeletionTree, NaiveSecureStore, DeletedBlockError
+from repro.storage.wal import WalCorruptionError, WriteAheadLog
 
 __all__ = [
     "BlockStore",
+    "CrashError",
+    "CrashingBlockStore",
     "InMemoryBlockStore",
     "TamperingBlockStore",
     "SecureDeletionTree",
     "NaiveSecureStore",
     "DeletedBlockError",
+    "WalCorruptionError",
+    "WriteAheadLog",
 ]

@@ -10,6 +10,13 @@ ever saw plus the HSM's post-deletion state (secure deletion).
 ``TamperingBlockStore`` implements that adversary for the test suite: it
 remembers every version of every block ever written and can be instructed to
 corrupt, replay, or swap blocks on future reads.
+
+The same oracle abstraction now also carries the service's *durability*
+layer (``repro.storage.wal`` / ``repro.storage.journal``): block puts are
+the unit of atomicity, so ``CrashingBlockStore`` models a process dying
+mid-write-sequence by raising :class:`CrashError` after a configured number
+of puts — everything already written stays readable, everything after is
+lost, exactly the contract crash-recovery tests need.
 """
 
 from __future__ import annotations
@@ -24,13 +31,19 @@ class BlockStore:
     """Abstract provider-side block oracle."""
 
     def get(self, addr: int) -> bytes:
+        """Return the block stored at ``addr`` (KeyError if absent)."""
         raise NotImplementedError
 
     def put(self, addr: int, block: bytes) -> None:
+        """Store ``block`` at ``addr``, overwriting any previous version."""
         raise NotImplementedError
 
     def __contains__(self, addr: int) -> bool:
         raise NotImplementedError
+
+    def delete(self, addr: int) -> None:
+        """Drop a block (WAL compaction).  Optional; default is a no-op —
+        an honest-but-lazy provider may keep history forever."""
 
 
 class InMemoryBlockStore(BlockStore):
@@ -45,21 +58,28 @@ class InMemoryBlockStore(BlockStore):
         self._blocks: Dict[int, bytes] = {}
 
     def get(self, addr: int) -> bytes:
+        """Return the block at ``addr``, metering its size as I/O."""
         block = self._blocks[addr]
         metering.count("io_bytes", len(block))
         return block
 
     def put(self, addr: int, block: bytes) -> None:
+        """Store ``block`` at ``addr``, metering its size as I/O."""
         metering.count("io_bytes", len(block))
         self._blocks[addr] = block
 
     def __contains__(self, addr: int) -> bool:
         return addr in self._blocks
 
+    def delete(self, addr: int) -> None:
+        """Remove a block if present (WAL compaction reclaims addresses)."""
+        self._blocks.pop(addr, None)
+
     def __len__(self) -> int:
         return len(self._blocks)
 
     def total_bytes(self) -> int:
+        """Total bytes across all stored blocks (storage-footprint stats)."""
         return sum(len(b) for b in self._blocks.values())
 
 
@@ -81,10 +101,12 @@ class TamperingBlockStore(InMemoryBlockStore):
         self.intercept: Optional[Callable[[int, bytes], bytes]] = None
 
     def put(self, addr: int, block: bytes) -> None:
+        """Store the block, also archiving it in the attacker's history."""
         self.history[addr].append(block)
         super().put(addr, block)
 
     def get(self, addr: int) -> bytes:
+        """Serve the block — or a stale/intercepted one if so instructed."""
         if addr in self._replay_next:
             stale = self._replay_next.pop(addr)
             metering.count("io_bytes", len(stale))
@@ -95,15 +117,62 @@ class TamperingBlockStore(InMemoryBlockStore):
         return block
 
     def corrupt(self, addr: int, bit: int = 0) -> None:
+        """Flip one bit of the stored block at ``addr``."""
         block = bytearray(self._blocks[addr])
         block[bit // 8] ^= 1 << (bit % 8)
         self._blocks[addr] = bytes(block)
 
     def replay(self, addr: int, version: int = 0) -> None:
+        """Serve a stale historical ``version`` on the next read of ``addr``."""
         self._replay_next[addr] = self.history[addr][version]
 
     def swap(self, addr_a: int, addr_b: int) -> None:
+        """Exchange the blocks stored at two addresses."""
         self._blocks[addr_a], self._blocks[addr_b] = (
             self._blocks[addr_b],
             self._blocks[addr_a],
         )
+
+
+class CrashError(RuntimeError):
+    """The simulated process died mid-write (see ``CrashingBlockStore``)."""
+
+
+class CrashingBlockStore(InMemoryBlockStore):
+    """An honest store whose *process* dies after N more successful puts.
+
+    Crash-recovery tests wrap the service's durable store in one of these,
+    arm it with :meth:`crash_after`, drive the workload until
+    :class:`CrashError` fires, then "restart" by handing ``self.blocks`` —
+    everything durably written before the crash — to a fresh deployment.
+    Block writes are atomic: a put either lands whole before the crash or
+    not at all (the failing put is *not* applied).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._puts_until_crash: Optional[int] = None
+        self.crashed = False
+
+    def crash_after(self, puts: int) -> None:
+        """Arm the store: the (puts+1)-th future put raises ``CrashError``."""
+        self._puts_until_crash = puts
+        self.crashed = False
+
+    def put(self, addr: int, block: bytes) -> None:
+        """Store the block, or raise :class:`CrashError` if the armed
+        crash countdown has expired (the failing put is not applied)."""
+        if self._puts_until_crash is not None:
+            if self._puts_until_crash <= 0:
+                self.crashed = True
+                raise CrashError("simulated process crash during block put")
+            self._puts_until_crash -= 1
+        super().put(addr, block)
+
+    @property
+    def blocks(self) -> "InMemoryBlockStore":
+        """The durable image a restarted process would see (same blocks,
+        crash trigger disarmed)."""
+        survivor = InMemoryBlockStore()
+        survivor._blocks = dict(self._blocks)
+        return survivor

@@ -1,0 +1,676 @@
+"""The provider's durability journal: what survives a process crash.
+
+Everything the paper's provider stores for years — recovery ciphertexts,
+incremental backups, the reply escrow, outsourced HSM key blocks, and the
+transparency log's committed digest chains — is journaled here as typed
+records on a :class:`~repro.storage.wal.WriteAheadLog`, so a restarted
+process (``Deployment.restore`` / ``RecoveryService.restart``) rebuilds the
+service from the block store alone.
+
+**Durable:** backups, incrementals, reply escrow, HSM key blocks, committed
+epoch transitions (entries + quorum signature), garbage collections, and
+published cross-shard roots.  **Explicitly not durable:** pending log
+batches (sessions that never got an inclusion proof re-submit), epoch
+leases, and attempt counters (re-derived from the restored entries).
+
+Epochs are write-ahead transactional, mirroring ``run_update``'s in-memory
+rollback:
+
+1. ``EPOCH_INTENT`` (shard, digests, root, the entries being applied) lands
+   after ``prepare_update`` but *before* any HSM is asked to certify;
+2. ``EPOCH_COMMIT`` (binding the intent's sequence number, plus the quorum
+   aggregate) lands once a quorum has signed but *before* the acceptance
+   fan-out — the decision is durable before any device is exposed to it —
+   and ``EPOCH_ROLLBACK`` lands after a live certification failure.
+
+A crash can therefore leave at most one unresolved intent per shard lane,
+and an unresolved intent proves no device adopted the new digest (devices
+only hear about an epoch after its commit record landed).
+:func:`reconcile_open_intents` settles each against the *trusted* fleet:
+if every online committee device still holds the old digest the intent is
+repaired to ``ROLLBACK`` and the half-prepared epoch vanishes (its
+sessions never received proofs); if — defensively — a committee device is
+found at the new digest, a quorum certified it and a repair ``COMMIT`` is
+appended, so no certified digest is ever lost.  Either way the WAL
+completes or rolls back the epoch atomically and no half-committed state
+survives a restart.
+
+Integrity: the WAL chain-hashes every record, so corrupted / swapped /
+replayed blocks from a :class:`~repro.storage.blockstore.TamperingBlockStore`
+are detected during replay, never silently restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.lhe import LheCiphertext
+from repro.core.wire import (
+    WireFormatError,
+    _blob,
+    _Reader,
+    _text,
+    _u32,
+    decode_recovery_ciphertext,
+    encode_recovery_ciphertext,
+)
+from repro.log.distributed import CertifiedTransition
+from repro.storage.blockstore import BlockStore, InMemoryBlockStore
+from repro.storage.wal import WriteAheadLog
+
+# Record kinds (one byte on the WAL).
+K_BACKUP = 1
+K_INCREMENTAL = 2
+K_REPLY = 3
+K_HSM_BLOCK = 4
+K_EPOCH_INTENT = 5
+K_EPOCH_COMMIT = 6
+K_EPOCH_ROLLBACK = 7
+K_EPOCH_PUBLISH = 8
+K_GC = 9
+K_SNAPSHOT = 10
+
+
+class JournalReplayError(Exception):
+    """The journal's records violate the write-ahead protocol (a record
+    sequence no crash of the instrumented code paths can produce)."""
+
+
+def _u64(value: int) -> bytes:
+    """Big-endian 8-byte unsigned int (WAL sequence numbers, addresses)."""
+    if not (0 <= value < 1 << 64):
+        raise WireFormatError("u64 out of range")
+    return value.to_bytes(8, "big")
+
+
+def _read_u64(reader: _Reader) -> int:
+    """Inverse of :func:`_u64`."""
+    return int.from_bytes(reader.take(8), "big")
+
+
+# ---------------------------------------------------------------------------
+# Aggregate-signature (de)serialization
+# ---------------------------------------------------------------------------
+def encode_aggregate_auto(aggregate: object) -> Tuple[Optional[str], Optional[bytes]]:
+    """Serialize a multisig aggregate, inferring the scheme from its shape.
+
+    Returns ``(scheme_name, bytes)`` — or ``(None, None)`` for aggregates
+    of schemes the journal cannot serialize (test doubles): the commit is
+    still durable, only the replayable signature material is dropped, so a
+    restored log can serve ``catch_up`` for every *decodable* transition.
+    """
+    if isinstance(aggregate, tuple) and all(
+        isinstance(sig, tuple) and len(sig) == 2 for sig in aggregate
+    ):
+        return "ecdsa-list", b"".join(
+            r.to_bytes(32, "big") + s.to_bytes(32, "big") for r, s in aggregate
+        )
+    to_bytes = getattr(aggregate, "to_bytes", None)
+    if callable(to_bytes):
+        return "bls", to_bytes()
+    return None, None
+
+
+def decode_aggregate(scheme: str, data: bytes) -> object:
+    """Inverse of :func:`encode_aggregate_auto` for a known scheme name."""
+    if scheme == "ecdsa-list":
+        if len(data) % 64:
+            raise WireFormatError("ecdsa-list aggregate not a multiple of 64B")
+        return tuple(
+            (
+                int.from_bytes(data[i : i + 32], "big"),
+                int.from_bytes(data[i + 32 : i + 64], "big"),
+            )
+            for i in range(0, len(data), 64)
+        )
+    if scheme == "bls":
+        from repro.crypto.blssig import BlsSignature
+
+        return BlsSignature.from_bytes(data)
+    raise WireFormatError(f"unknown multisig scheme {scheme!r}")
+
+
+# ---------------------------------------------------------------------------
+# Restored state
+# ---------------------------------------------------------------------------
+@dataclass
+class StoredTransition:
+    """One committed digest transition as the journal preserves it.
+
+    ``scheme``/``aggregate`` are None for transitions whose quorum
+    signature could not be serialized (exotic test schemes) or was lost to
+    a crash between certification and the commit record (the reconciled
+    path) — the transition itself is still part of the restored chain.
+    """
+
+    old_digest: bytes
+    new_digest: bytes
+    root: bytes
+    signer_ids: Tuple[int, ...] = ()
+    scheme: Optional[str] = None
+    aggregate: Optional[bytes] = None
+
+    def to_certified(self, shard: int, num_shards: int) -> CertifiedTransition:
+        """Rebuild the live :class:`CertifiedTransition` object."""
+        aggregate = (
+            decode_aggregate(self.scheme, self.aggregate)
+            if self.scheme is not None and self.aggregate is not None
+            else None
+        )
+        return CertifiedTransition(
+            old_digest=self.old_digest,
+            new_digest=self.new_digest,
+            root=self.root,
+            aggregate=aggregate,
+            signer_ids=self.signer_ids,
+            shard=shard,
+            num_shards=num_shards,
+        )
+
+
+@dataclass
+class OpenIntent:
+    """An epoch intent with no commit/rollback yet (a crash mid-epoch)."""
+
+    seq: int  # WAL sequence number of the intent record
+    shard: int
+    num_shards: int
+    old_digest: bytes
+    new_digest: bytes
+    root: bytes
+    entries: List[Tuple[bytes, bytes]]
+
+
+@dataclass
+class RestoredState:
+    """Everything a replayed journal reconstructs (and a snapshot stores)."""
+
+    num_shards: int = 1
+    shard_entries: Dict[int, List[Tuple[bytes, bytes]]] = field(default_factory=dict)
+    shard_epochs: Dict[int, int] = field(default_factory=dict)
+    shard_transitions: Dict[int, List[StoredTransition]] = field(default_factory=dict)
+    garbage_collections: int = 0
+    backups: Dict[str, List[LheCiphertext]] = field(default_factory=dict)
+    incrementals: Dict[str, List[bytes]] = field(default_factory=dict)
+    replies: Dict[Tuple[str, int], List[bytes]] = field(default_factory=dict)
+    hsm_blocks: Dict[int, Dict[int, bytes]] = field(default_factory=dict)
+    open_intents: Dict[int, OpenIntent] = field(default_factory=dict)
+    last_publish_root: Optional[bytes] = None
+
+    def apply_commit(self, intent: OpenIntent, transition: StoredTransition) -> None:
+        """Fold a committed intent into the durable per-shard state."""
+        self.shard_entries.setdefault(intent.shard, []).extend(intent.entries)
+        self.shard_epochs[intent.shard] = self.shard_epochs.get(intent.shard, 0) + 1
+        self.shard_transitions.setdefault(intent.shard, []).append(transition)
+        self.open_intents.pop(intent.shard, None)
+
+    def apply_rollback(self, intent: OpenIntent) -> None:
+        """Drop an uncertified intent (its entries were never committed)."""
+        self.open_intents.pop(intent.shard, None)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot (de)serialization
+# ---------------------------------------------------------------------------
+def _encode_entries(entries: Sequence[Tuple[bytes, bytes]]) -> bytes:
+    parts = [_u32(len(entries))]
+    for identifier, value in entries:
+        parts.append(_blob(identifier))
+        parts.append(_blob(value))
+    return b"".join(parts)
+
+
+def _decode_entries(reader: _Reader) -> List[Tuple[bytes, bytes]]:
+    return [(reader.blob(), reader.blob()) for _ in range(reader.u32())]
+
+
+def _encode_transition(transition: StoredTransition) -> bytes:
+    parts = [
+        _blob(transition.old_digest),
+        _blob(transition.new_digest),
+        _blob(transition.root),
+        _u32(len(transition.signer_ids)),
+    ]
+    parts.extend(_u32(signer) for signer in transition.signer_ids)
+    if transition.scheme is not None and transition.aggregate is not None:
+        parts.append(b"\x01")
+        parts.append(_text(transition.scheme))
+        parts.append(_blob(transition.aggregate))
+    else:
+        parts.append(b"\x00")
+    return b"".join(parts)
+
+
+def _decode_transition(reader: _Reader) -> StoredTransition:
+    old_digest = reader.blob()
+    new_digest = reader.blob()
+    root = reader.blob()
+    signer_ids = tuple(reader.u32() for _ in range(reader.u32()))
+    scheme = aggregate = None
+    if reader.u8():
+        scheme = reader.text()
+        aggregate = reader.blob()
+    return StoredTransition(
+        old_digest=old_digest,
+        new_digest=new_digest,
+        root=root,
+        signer_ids=signer_ids,
+        scheme=scheme,
+        aggregate=aggregate,
+    )
+
+
+def encode_state(state: RestoredState) -> bytes:
+    """Serialize a quiescent state for a ``SNAPSHOT`` record.
+
+    Refuses states with open intents: snapshots are taken between epochs
+    (the caller quiesces the service), never mid-transaction.
+    """
+    if state.open_intents:
+        raise ValueError("cannot snapshot with unresolved epoch intents")
+    parts = [_u32(state.num_shards), _u32(state.garbage_collections)]
+    shards = sorted(set(state.shard_entries) | set(state.shard_epochs) | set(state.shard_transitions))
+    parts.append(_u32(len(shards)))
+    for shard in shards:
+        parts.append(_u32(shard))
+        parts.append(_encode_entries(state.shard_entries.get(shard, [])))
+        parts.append(_u32(state.shard_epochs.get(shard, 0)))
+        transitions = state.shard_transitions.get(shard, [])
+        parts.append(_u32(len(transitions)))
+        parts.extend(_encode_transition(t) for t in transitions)
+    parts.append(_u32(len(state.backups)))
+    for username in sorted(state.backups):
+        parts.append(_text(username))
+        ciphertexts = state.backups[username]
+        parts.append(_u32(len(ciphertexts)))
+        parts.extend(_blob(encode_recovery_ciphertext(ct)) for ct in ciphertexts)
+    parts.append(_u32(len(state.incrementals)))
+    for username in sorted(state.incrementals):
+        parts.append(_text(username))
+        blobs = state.incrementals[username]
+        parts.append(_u32(len(blobs)))
+        parts.extend(_blob(blob) for blob in blobs)
+    parts.append(_u32(len(state.replies)))
+    for username, attempt in sorted(state.replies):
+        parts.append(_text(username))
+        parts.append(_u32(attempt))
+        blobs = state.replies[(username, attempt)]
+        parts.append(_u32(len(blobs)))
+        parts.extend(_blob(blob) for blob in blobs)
+    parts.append(_u32(len(state.hsm_blocks)))
+    for index in sorted(state.hsm_blocks):
+        blocks = state.hsm_blocks[index]
+        parts.append(_u32(index))
+        parts.append(_u32(len(blocks)))
+        for addr in sorted(blocks):
+            parts.append(_u64(addr))
+            parts.append(_blob(blocks[addr]))
+    parts.append(_blob(state.last_publish_root or b""))
+    return b"".join(parts)
+
+
+def decode_state(data: bytes) -> RestoredState:
+    """Inverse of :func:`encode_state` (strict — trailing bytes reject)."""
+    reader = _Reader(data)
+    state = RestoredState(
+        num_shards=reader.u32(), garbage_collections=reader.u32()
+    )
+    for _ in range(reader.u32()):
+        shard = reader.u32()
+        state.shard_entries[shard] = _decode_entries(reader)
+        state.shard_epochs[shard] = reader.u32()
+        state.shard_transitions[shard] = [
+            _decode_transition(reader) for _ in range(reader.u32())
+        ]
+    for _ in range(reader.u32()):
+        username = reader.text()
+        state.backups[username] = [
+            decode_recovery_ciphertext(reader.blob()) for _ in range(reader.u32())
+        ]
+    for _ in range(reader.u32()):
+        username = reader.text()
+        state.incrementals[username] = [reader.blob() for _ in range(reader.u32())]
+    for _ in range(reader.u32()):
+        username = reader.text()
+        attempt = reader.u32()
+        state.replies[(username, attempt)] = [
+            reader.blob() for _ in range(reader.u32())
+        ]
+    for _ in range(reader.u32()):
+        index = reader.u32()
+        state.hsm_blocks[index] = {
+            _read_u64(reader): reader.blob() for _ in range(reader.u32())
+        }
+    root = reader.blob()
+    state.last_publish_root = root or None
+    reader.finish()
+    return state
+
+
+# ---------------------------------------------------------------------------
+# The journal
+# ---------------------------------------------------------------------------
+class ProviderJournal:
+    """Typed record writer/replayer over one :class:`WriteAheadLog`.
+
+    One journal instance backs one provider process; the serving layer
+    serializes epoch records per shard lane (``run_update`` is one lane at
+    a time per shard), and the WAL itself serializes interleaved appends
+    from concurrent lanes, so no extra locking lives here.
+    """
+
+    def __init__(self, store: BlockStore, domain: bytes = b"repro-journal") -> None:
+        """Open the journal on ``store`` (verifying any existing records)."""
+        self.wal = WriteAheadLog(store, domain)
+
+    @property
+    def store(self) -> BlockStore:
+        """The underlying block store — the thing that survives a crash."""
+        return self.wal.store
+
+    # -- provider escrow -------------------------------------------------------
+    def record_backup(self, username: str, ciphertext: LheCiphertext) -> None:
+        """Journal one uploaded recovery ciphertext."""
+        self.wal.append(
+            K_BACKUP, _text(username) + _blob(encode_recovery_ciphertext(ciphertext))
+        )
+
+    def record_incremental(self, username: str, blob: bytes) -> None:
+        """Journal one AE-encrypted incremental backup blob."""
+        self.wal.append(K_INCREMENTAL, _text(username) + _blob(blob))
+
+    def record_reply(self, username: str, attempt: int, blob: bytes) -> None:
+        """Journal one escrowed HSM reply."""
+        self.wal.append(K_REPLY, _text(username) + _u32(attempt) + _blob(blob))
+
+    def record_hsm_block(self, index: int, addr: int, block: bytes) -> None:
+        """Journal one outsourced HSM key block write."""
+        self.wal.append(K_HSM_BLOCK, _u32(index) + _u64(addr) + _blob(block))
+
+    # -- epoch transactions ----------------------------------------------------
+    def record_intent(
+        self,
+        shard: int,
+        num_shards: int,
+        old_digest: bytes,
+        new_digest: bytes,
+        root: bytes,
+        entries: Sequence[Tuple[bytes, bytes]],
+    ) -> int:
+        """Write-ahead record of a prepared (not yet certified) epoch."""
+        payload = (
+            _u32(shard)
+            + _u32(num_shards)
+            + _blob(old_digest)
+            + _blob(new_digest)
+            + _blob(root)
+            + _encode_entries(entries)
+        )
+        return self.wal.append(K_EPOCH_INTENT, payload)
+
+    def record_commit(
+        self, shard: int, intent_seq: int, transition: Optional[CertifiedTransition]
+    ) -> None:
+        """Commit an intent; ``transition`` carries the quorum signature.
+
+        ``transition=None`` is the reconciled-repair path (restart found
+        the fleet had certified the epoch but the commit record was lost
+        with the process): the commit is durable, the signature is not.
+        """
+        parts = [_u32(shard), _u64(intent_seq)]
+        scheme = aggregate = None
+        if transition is not None:
+            scheme, aggregate = encode_aggregate_auto(transition.aggregate)
+        if transition is not None and scheme is not None:
+            parts.append(b"\x01")
+            parts.append(_text(scheme))
+            parts.append(_u32(len(transition.signer_ids)))
+            parts.extend(_u32(signer) for signer in transition.signer_ids)
+            parts.append(_blob(aggregate))
+        else:
+            parts.append(b"\x00")
+        self.wal.append(K_EPOCH_COMMIT, b"".join(parts))
+
+    def record_rollback(self, shard: int, intent_seq: int) -> None:
+        """Roll an intent back (certification failed or never finished)."""
+        self.wal.append(K_EPOCH_ROLLBACK, _u32(shard) + _u64(intent_seq))
+
+    def record_publish(self, root: bytes) -> None:
+        """Journal a published (cross-shard) root after a served tick."""
+        self.wal.append(K_EPOCH_PUBLISH, _blob(root))
+
+    def record_gc(self, count: int) -> None:
+        """Journal a log garbage collection (``count`` = new GC total)."""
+        self.wal.append(K_GC, _u32(count))
+
+    # -- snapshot / restore ----------------------------------------------------
+    def write_snapshot(self, state: RestoredState, compact: bool = True) -> int:
+        """Append a snapshot record, anchor it, and (optionally) compact.
+
+        Returns the snapshot's WAL sequence number.  Must run quiesced (no
+        concurrent appends — the service stops its ticker first).
+        """
+        seq = self.wal.append(K_SNAPSHOT, encode_state(state))
+        self.wal.anchor_now()
+        if compact:
+            self.wal.compact_before(seq)
+        return seq
+
+    def replay_state(self, expected_head: Optional[bytes] = None) -> RestoredState:
+        """Fold every journal record into a :class:`RestoredState`.
+
+        Raises :class:`~repro.storage.wal.WalCorruptionError` on tampered
+        storage and :class:`JournalReplayError` on record sequences the
+        write-ahead protocol cannot produce.  Unresolved intents are left
+        in ``open_intents`` for :func:`reconcile_open_intents`.
+        """
+        state = RestoredState()
+        for seq, kind, payload in self.wal.replay(expected_head):
+            state = self._apply(state, seq, kind, payload)
+        return state
+
+    def _apply(
+        self, state: RestoredState, seq: int, kind: int, payload: bytes
+    ) -> RestoredState:
+        """Fold one record into ``state`` (returns the new state)."""
+        reader = _Reader(payload)
+        if kind == K_SNAPSHOT:
+            return decode_state(payload)
+        if kind == K_BACKUP:
+            username = reader.text()
+            ciphertext = decode_recovery_ciphertext(reader.blob())
+            reader.finish()
+            state.backups.setdefault(username, []).append(ciphertext)
+        elif kind == K_INCREMENTAL:
+            username = reader.text()
+            blob = reader.blob()
+            reader.finish()
+            state.incrementals.setdefault(username, []).append(blob)
+        elif kind == K_REPLY:
+            username = reader.text()
+            attempt = reader.u32()
+            blob = reader.blob()
+            reader.finish()
+            state.replies.setdefault((username, attempt), []).append(blob)
+        elif kind == K_HSM_BLOCK:
+            index = reader.u32()
+            addr = _read_u64(reader)
+            block = reader.blob()
+            reader.finish()
+            state.hsm_blocks.setdefault(index, {})[addr] = block
+        elif kind == K_EPOCH_INTENT:
+            shard = reader.u32()
+            num_shards = reader.u32()
+            intent = OpenIntent(
+                seq=seq,
+                shard=shard,
+                num_shards=num_shards,
+                old_digest=reader.blob(),
+                new_digest=reader.blob(),
+                root=reader.blob(),
+                entries=_decode_entries(reader),
+            )
+            reader.finish()
+            if shard in state.open_intents:
+                raise JournalReplayError(
+                    f"shard {shard} has two unresolved epoch intents"
+                )
+            state.num_shards = max(state.num_shards, num_shards)
+            state.open_intents[shard] = intent
+        elif kind == K_EPOCH_COMMIT:
+            shard = reader.u32()
+            intent_seq = _read_u64(reader)
+            transition = self._read_commit_transition(reader, state, shard, intent_seq)
+            reader.finish()
+            state.apply_commit(state.open_intents[shard], transition)
+        elif kind == K_EPOCH_ROLLBACK:
+            shard = reader.u32()
+            intent_seq = _read_u64(reader)
+            reader.finish()
+            intent = state.open_intents.get(shard)
+            if intent is None or intent.seq != intent_seq:
+                raise JournalReplayError(
+                    f"rollback for shard {shard} matches no open intent"
+                )
+            state.apply_rollback(intent)
+        elif kind == K_EPOCH_PUBLISH:
+            state.last_publish_root = reader.blob()
+            reader.finish()
+        elif kind == K_GC:
+            count = reader.u32()
+            reader.finish()
+            state.shard_entries = {shard: [] for shard in state.shard_entries}
+            state.garbage_collections = count
+        else:
+            raise JournalReplayError(f"unknown journal record kind {kind}")
+        return state
+
+    def _read_commit_transition(
+        self, reader: _Reader, state: RestoredState, shard: int, intent_seq: int
+    ) -> StoredTransition:
+        """Decode a commit's transition, validated against its open intent."""
+        intent = state.open_intents.get(shard)
+        if intent is None or intent.seq != intent_seq:
+            raise JournalReplayError(
+                f"commit for shard {shard} matches no open intent"
+            )
+        scheme = aggregate = None
+        signer_ids: Tuple[int, ...] = ()
+        if reader.u8():
+            scheme = reader.text()
+            signer_ids = tuple(reader.u32() for _ in range(reader.u32()))
+            aggregate = reader.blob()
+        return StoredTransition(
+            old_digest=intent.old_digest,
+            new_digest=intent.new_digest,
+            root=intent.root,
+            signer_ids=signer_ids,
+            scheme=scheme,
+            aggregate=aggregate,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Crash reconciliation
+# ---------------------------------------------------------------------------
+def reconcile_open_intents(
+    state: RestoredState, journal: ProviderJournal, hsms: Sequence
+) -> Dict[int, str]:
+    """Settle every unresolved epoch intent against the trusted fleet.
+
+    HSMs live outside the crashed process (separate hardware in the paper's
+    deployment), so their digests are ground truth.  Because the commit
+    record lands *before* the acceptance fan-out, an open intent normally
+    means no device moved: the quorum either never formed or its aggregate
+    died with the process, so a repair ``ROLLBACK`` is appended and the
+    intent's entries are dropped (those sessions never received inclusion
+    proofs).  Defensively, if an online committee device *is* found at the
+    intent's new digest — a device only adopts a digest after verifying a
+    quorum aggregate — the epoch was certified and a repair ``COMMIT`` is
+    appended instead (its aggregate died with the process), so a certified
+    digest is never rolled back.
+
+    Returns ``{shard: "committed" | "rolled-back"}`` for observability.
+    Raises :class:`JournalReplayError` if a committee device sits at a
+    digest matching neither side of the intent (an inconsistency no crash
+    of the instrumented paths can produce).
+    """
+    outcomes: Dict[int, str] = {}
+    for shard in sorted(state.open_intents):
+        intent = state.open_intents[shard]
+        committee = [
+            hsm
+            for hsm in hsms
+            if not hsm.is_failed
+            and (intent.num_shards == 1 or hsm.index % intent.num_shards == shard)
+        ]
+        if not committee:
+            raise JournalReplayError(
+                f"no online committee device to reconcile shard {shard}"
+            )
+        digests = {
+            (
+                hsm.shard_digest(shard)
+                if intent.num_shards > 1
+                else hsm.log_digest
+            )
+            for hsm in committee
+        }
+        unexplained = digests - {intent.old_digest, intent.new_digest}
+        if unexplained:
+            raise JournalReplayError(
+                f"shard {shard}: committee digest matches neither side of the"
+                " open intent"
+            )
+        if intent.new_digest in digests:
+            journal.record_commit(shard, intent.seq, None)
+            state.apply_commit(
+                intent,
+                StoredTransition(
+                    old_digest=intent.old_digest,
+                    new_digest=intent.new_digest,
+                    root=intent.root,
+                ),
+            )
+            outcomes[shard] = "committed"
+        else:
+            journal.record_rollback(shard, intent.seq)
+            state.apply_rollback(intent)
+            outcomes[shard] = "rolled-back"
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Journaled HSM block hosting
+# ---------------------------------------------------------------------------
+class JournaledBlockStore(InMemoryBlockStore):
+    """Provider-hosted HSM key storage whose writes ride the journal.
+
+    The secure-deletion tree's ``put``\\ s are journaled as ``HSM_BLOCK``
+    records so a restarted provider re-hosts every device's outsourced key
+    array; the device's in-boundary root key (which survives on the real
+    HSM) then reads it exactly as before.  Deletes are not journaled:
+    secure deletion re-keys paths by overwriting, and replaying the newest
+    write per address reproduces the final array.
+    """
+
+    def __init__(self, journal: ProviderJournal, hsm_index: int) -> None:
+        """A journaled store for HSM ``hsm_index``'s key blocks."""
+        super().__init__()
+        self._journal = journal
+        self._hsm_index = hsm_index
+
+    @classmethod
+    def preloaded(
+        cls, journal: ProviderJournal, hsm_index: int, blocks: Dict[int, bytes]
+    ) -> "JournaledBlockStore":
+        """A store rebuilt from restored blocks *without* re-journaling."""
+        store = cls(journal, hsm_index)
+        store._blocks = dict(blocks)
+        return store
+
+    def put(self, addr: int, block: bytes) -> None:
+        """Journal the write, then host the block."""
+        self._journal.record_hsm_block(self._hsm_index, addr, block)
+        super().put(addr, block)

@@ -171,6 +171,7 @@ class NaiveSecureStore:
 
     @staticmethod
     def setup(store: BlockStore, blocks: Sequence[bytes]) -> "NaiveSecureStore":
+        """Encrypt ``blocks`` (all equal-size) under one fresh key."""
         sizes = {len(b) for b in blocks}
         if len(sizes) > 1:
             raise ValueError("naive store requires equal-size blocks")
@@ -183,6 +184,7 @@ class NaiveSecureStore:
         return bytearray(ae_decrypt(self._key, self._store.get(self._ADDR), aad=b"naive"))
 
     def read(self, index: int) -> bytes:
+        """Decrypt the whole array and return block ``index``."""
         if not (0 <= index < self._count):
             raise IndexError("block index out of range")
         data = self._load()
@@ -192,6 +194,8 @@ class NaiveSecureStore:
         return block
 
     def delete(self, index: int) -> None:
+        """Zero block ``index`` and re-encrypt the whole array under a
+        fresh key (the O(D) cost the puncturable tree avoids)."""
         data = self._load()
         data[index * self._size : (index + 1) * self._size] = b"\x00" * self._size
         self._key = secrets.token_bytes(KEY_LEN)

@@ -1,0 +1,265 @@
+"""Crash recovery: kill the provider mid-epoch, restart, lose nothing.
+
+The headline scenario the durability layer exists for: the provider
+process dies *between* a shard lane committing its epoch and the combined
+cross-shard root being published.  On restart:
+
+- no certified digest is lost — any epoch a committee device adopted is
+  repaired to COMMIT (the fleet is ground truth; devices only accept a
+  digest after verifying a quorum aggregate);
+- no half-committed epoch survives — an intent no device adopted is
+  repaired to ROLLBACK, its entries vanish, and the sessions (which never
+  received inclusion proofs) simply retry;
+- everything escrowed before the crash (backups, replies, HSM key blocks,
+  attempt counters) is rebuilt from the journal.
+
+``CrashingBlockStore`` models the kill: the (N+1)-th block put raises and
+the test restarts from exactly the blocks that landed before it.
+"""
+
+import random
+
+import pytest
+
+from repro.core.params import SystemParams
+from repro.core.protocol import Deployment
+from repro.core.provider import ProviderError
+from repro.log.sharded import shard_of
+from repro.storage.blockstore import CrashError, CrashingBlockStore, InMemoryBlockStore
+from repro.storage.journal import ProviderJournal
+
+SHARDS = 2
+
+
+def durable_params(**kwargs) -> SystemParams:
+    defaults = dict(num_hsms=8, cluster_size=4)
+    defaults.update(kwargs)
+    return SystemParams.for_testing(**defaults)
+
+
+def identifier_on_shard(shard: int, tag: str = "crash") -> bytes:
+    """A recovery identifier that routes to ``shard`` under SHARDS lanes."""
+    return next(
+        b"rec|%s-%d|0" % (tag.encode("ascii"), i)
+        for i in range(256)
+        if shard_of(b"rec|%s-%d|0" % (tag.encode("ascii"), i), SHARDS) == shard
+    )
+
+
+# ---------------------------------------------------------------------------
+# Round trips (no crash): restore rebuilds the full deployment
+# ---------------------------------------------------------------------------
+class TestRestoreRoundTrip:
+    def test_restore_preserves_digest_escrow_and_counters(self):
+        store = InMemoryBlockStore()
+        params = durable_params()
+        dep = Deployment.create(params, rng=random.Random(11), shards=SHARDS, store=store)
+        alice = dep.new_client("alice", transport="direct")
+        alice.backup(b"alice-secret", "1234")
+        assert alice.recover("1234") == b"alice-secret"
+        digest = dep.provider.log.digest
+
+        restored = Deployment.restore(params, store, dep.fleet, shards=SHARDS)
+        assert restored.provider.log.digest == digest
+        # Attempt counters were re-derived from the committed entries.
+        assert restored.provider.next_attempt_number(
+            "alice"
+        ) == restored.provider.scan_attempt_number("alice")
+        # The restored deployment serves new work end to end (the old
+        # backup's BFE tag was punctured by the pre-crash recovery, so a
+        # fresh backup proves liveness).
+        alice2 = restored.new_client("alice", transport="direct")
+        alice2.backup(b"alice-next", "1234")
+        assert alice2.recover("1234") == b"alice-next"
+
+    def test_snapshot_compaction_then_restore(self):
+        store = InMemoryBlockStore()
+        params = durable_params()
+        dep = Deployment.create(params, rng=random.Random(12), shards=SHARDS, store=store)
+        bob = dep.new_client("bob", transport="direct")
+        bob.backup(b"bob-secret", "9999")
+        blocks_before = len(store)
+        dep.provider.snapshot()
+        assert len(store) < blocks_before  # history actually reclaimed
+        restored = Deployment.restore(params, store, dep.fleet, shards=SHARDS)
+        assert restored.provider.log.digest == dep.provider.log.digest
+        assert restored.new_client("bob", transport="direct").recover("9999") == b"bob-secret"
+
+    def test_gc_survives_restart(self):
+        store = InMemoryBlockStore()
+        params = durable_params()
+        dep = Deployment.create(params, rng=random.Random(13), shards=SHARDS, store=store)
+        dep.provider.log.insert(b"rec|gc-user|0", b"h")
+        dep.run_log_update()
+        dep.garbage_collect_log()
+        restored = Deployment.restore(params, store, dep.fleet, shards=SHARDS)
+        assert restored.provider.log.garbage_collections == 1
+        assert restored.provider.log.digest == dep.provider.log.digest
+        assert restored.provider.log.ordered_entries == []
+
+    def test_snapshot_requires_a_journal(self):
+        dep = Deployment.create(durable_params(), rng=random.Random(14))
+        with pytest.raises(ProviderError):
+            dep.provider.snapshot()
+
+    def test_resharding_a_durable_deployment_is_rejected(self):
+        dep = Deployment.create(
+            durable_params(), rng=random.Random(15), store=InMemoryBlockStore()
+        )
+        with pytest.raises(ValueError, match="durable"):
+            dep.reshard_log(2)
+
+
+# ---------------------------------------------------------------------------
+# The headline: kill mid-epoch, restart, reconcile
+# ---------------------------------------------------------------------------
+class TestKillMidEpoch:
+    def test_lane_commit_survives_crash_before_publish(self):
+        """The headline: shard 0's lane commits its epoch, then the process
+        dies while shard 1's commit record is being written — before the
+        combined cross-shard root is published.  Restart must keep shard
+        0's certified digest intact and resolve shard 1 atomically: its
+        commit record never landed, so no device ever heard of its epoch
+        (acceptance fans out only after the commit is durable) and the
+        intent rolls back cleanly — complete or roll back, never half."""
+        store = CrashingBlockStore()
+        params = durable_params()
+        dep = Deployment.create(params, rng=random.Random(21), shards=SHARDS, store=store)
+        log = dep.provider.log
+        log.insert(identifier_on_shard(0), b"h-shard0")
+        log.insert(identifier_on_shard(1), b"h-shard1")
+
+        log.run_shard_update(0, dep.fleet.hsms)  # lane 0 commits cleanly
+        digest0 = log.shards[0].digest
+        digest1_before = next(
+            h.shard_digest(1) for h in dep.fleet.hsms if h.index % SHARDS == 1
+        )
+
+        # Lane 1: the intent record lands (put 1), then the process dies on
+        # the commit record's put — after the quorum signed, before any
+        # device was asked to accept.
+        store.crash_after(1)
+        with pytest.raises(CrashError):
+            log.run_shard_update(1, dep.fleet.hsms)
+        # Acceptance is gated on the durable commit: no device moved.
+        assert all(
+            h.shard_digest(1) == digest1_before
+            for h in dep.fleet.hsms
+            if h.index % SHARDS == 1
+        )
+
+        # The durable image ends mid-transaction: one open intent.
+        survivor = store.blocks
+        assert list(ProviderJournal(survivor).replay_state().open_intents) == [1]
+
+        restored = Deployment.restore(params, survivor, dep.fleet, shards=SHARDS)
+        rlog = restored.provider.log
+        # Lane 0's certified digest survived; lane 1 rolled back atomically.
+        assert rlog.shards[0].digest == digest0
+        assert rlog.shards[1].digest == digest1_before
+        assert ProviderJournal(survivor).replay_state().open_intents == {}
+        assert (identifier_on_shard(0), b"h-shard0") in rlog.ordered_entries
+        committed_ids = [i for i, _ in rlog.ordered_entries]
+        assert identifier_on_shard(1) not in committed_ids
+        # The rolled-back session retries on the restored deployment and the
+        # whole fleet converges on the published root.
+        rlog.insert(identifier_on_shard(1), b"h-shard1")
+        restored.run_log_update()
+        assert (identifier_on_shard(1), b"h-shard1") in rlog.ordered_entries
+        assert dep.fleet[0].log_digest == rlog.digest
+
+    def test_committed_epochs_survive_a_crash_before_publish(self):
+        """Both lanes commit durably; the process dies before the batcher
+        publishes the combined root.  Restart loses nothing: both certified
+        digests restore with their quorum aggregates replayable."""
+        store = CrashingBlockStore()
+        params = durable_params()
+        dep = Deployment.create(params, rng=random.Random(23), shards=SHARDS, store=store)
+        log = dep.provider.log
+        log.insert(identifier_on_shard(0, tag="pub"), b"h0")
+        log.insert(identifier_on_shard(1, tag="pub"), b"h1")
+        log.run_shard_update(0, dep.fleet.hsms)
+        log.run_shard_update(1, dep.fleet.hsms)
+        # The process dies here: no EPOCH_PUBLISH record for this tick.
+        restored = Deployment.restore(params, store.blocks, dep.fleet, shards=SHARDS)
+        rlog = restored.provider.log
+        assert rlog.digest == log.digest
+        for shard in range(SHARDS):
+            assert rlog.shards[shard].digest == log.shards[shard].digest
+            # The restored transition chain kept its quorum aggregates, so
+            # it can serve catch_up / healing to lagging devices.
+            assert all(
+                t.aggregate is not None
+                for t in rlog.shards[shard].certified_transitions
+            )
+
+    def test_crash_before_certification_rolls_back(self):
+        """The process dies after writing the intent but its committee never
+        reached quorum (and the rollback record was lost with the process):
+        restart must roll the epoch back atomically — the entries vanish and
+        the session can retry."""
+        store = CrashingBlockStore()
+        params = durable_params()
+        dep = Deployment.create(params, rng=random.Random(22), shards=SHARDS, store=store)
+        log = dep.provider.log
+        identifier = identifier_on_shard(1, tag="doomed")
+        log.insert(identifier, b"h-doomed")
+        digest_before = log.shards[1].digest
+
+        # Fail half of shard 1's committee (quorum 0.75 * 4 needs 3 signers)
+        # and die on the very next record write after the intent.
+        committee = [h for h in dep.fleet.hsms if h.index % SHARDS == 1]
+        for hsm in committee[:2]:
+            hsm.fail_stop()
+        store.crash_after(1)
+        with pytest.raises(CrashError):
+            log.run_shard_update(1, dep.fleet.hsms)
+        # No device moved: quorum loss is detected before any acceptance.
+        assert all(h.shard_digest(1) == digest_before for h in committee[2:])
+
+        survivor = store.blocks
+        assert list(ProviderJournal(survivor).replay_state().open_intents) == [1]
+        dep.fleet.restart_all()
+        restored = Deployment.restore(params, survivor, dep.fleet, shards=SHARDS)
+        rlog = restored.provider.log
+        # Rolled back atomically: digest unchanged, the entry is gone, and
+        # the journal holds no open transaction.
+        assert rlog.shards[1].digest == digest_before
+        assert identifier not in [i for i, _ in rlog.ordered_entries]
+        assert ProviderJournal(survivor).replay_state().open_intents == {}
+        # The write-once identifier was never committed, so the session's
+        # retry goes through on the restored deployment.
+        rlog.insert(identifier, b"h-doomed")
+        restored.run_log_update()
+        assert (identifier, b"h-doomed") in rlog.ordered_entries
+
+
+# ---------------------------------------------------------------------------
+# Service-level restart (RecoveryService.restart)
+# ---------------------------------------------------------------------------
+class TestServiceRestart:
+    def test_restart_revives_the_service(self):
+        store = InMemoryBlockStore()
+        params = durable_params()
+        dep = Deployment.create(params, rng=random.Random(31), shards=SHARDS, store=store)
+        service = dep.recovery_service(transport="direct", tick_interval=0.01)
+        with service:
+            alice = service.new_client("alice")
+            alice.backup(b"pre-crash", "1234")
+            assert alice.recover("1234") == b"pre-crash"
+        revived = service.restart()
+        with revived:
+            alice2 = revived.new_client("alice")
+            alice2.backup(b"post-crash", "1234")
+            assert alice2.recover("1234") == b"post-crash"
+        # Sessions served after restart start from re-derived counters.
+        provider = revived.provider
+        assert provider.next_attempt_number("alice") == provider.scan_attempt_number(
+            "alice"
+        )
+
+    def test_restart_requires_durability(self):
+        dep = Deployment.create(durable_params(), rng=random.Random(32))
+        service = dep.recovery_service(transport="direct")
+        with pytest.raises(ProviderError, match="durable"):
+            service.restart()

@@ -1,0 +1,400 @@
+"""The durability layer: WAL integrity, journal protocol, tamper detection.
+
+Covers the claims the write-ahead design stands on:
+
+1. **Round-trip** — records appended to the WAL replay verbatim, across
+   process restarts (a fresh ``WriteAheadLog`` over the same store).
+2. **Integrity** — every tampering move ``TamperingBlockStore`` can make
+   (corrupt a block, swap two blocks, replay a stale version) is *detected*
+   during replay/restore, never silently restored; truncation of the tail
+   is caught by the ``expected_head`` check.
+3. **Write-ahead protocol** — epoch intents resolve to exactly one commit
+   or rollback; record sequences no crash can produce are rejected.
+4. **Snapshots** — anchoring + compaction preserve the restored state and
+   a stale (replayed) anchor dangles and fails loudly.
+"""
+
+import random
+
+import pytest
+
+from repro.core.params import SystemParams
+from repro.core.protocol import Deployment
+from repro.core.wire import WireFormatError
+from repro.log.distributed import CertifiedTransition
+from repro.storage.blockstore import InMemoryBlockStore, TamperingBlockStore
+from repro.storage.journal import (
+    JournalReplayError,
+    ProviderJournal,
+    RestoredState,
+    StoredTransition,
+    decode_aggregate,
+    decode_state,
+    encode_aggregate_auto,
+    encode_state,
+)
+from repro.storage.wal import WalCorruptionError, WriteAheadLog
+
+
+# ---------------------------------------------------------------------------
+# WriteAheadLog
+# ---------------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_append_replay_round_trip(self):
+        wal = WriteAheadLog(InMemoryBlockStore())
+        records = [(1, b"alpha"), (2, b""), (7, b"x" * 300)]
+        for kind, payload in records:
+            wal.append(kind, payload)
+        assert [(k, p) for _, k, p in wal.replay()] == records
+        assert len(wal) == 3
+
+    def test_reopen_continues_the_chain(self):
+        store = InMemoryBlockStore()
+        first = WriteAheadLog(store)
+        first.append(1, b"pre-crash")
+        head = first.head
+        reopened = WriteAheadLog(store)  # the "restarted process"
+        assert reopened.head == head
+        reopened.append(2, b"post-crash")
+        assert [(k, p) for _, k, p in reopened.replay()] == [
+            (1, b"pre-crash"),
+            (2, b"post-crash"),
+        ]
+
+    def test_stale_writer_append_is_fenced(self):
+        """A pre-restore handle left around after a restart must not fork
+        the chain: once the live handle appends, the stale one's next
+        append targets an occupied address and fails loudly instead of
+        silently clobbering the live writer's records."""
+        store = InMemoryBlockStore()
+        stale = WriteAheadLog(store)
+        stale.append(1, b"shared-prefix")
+        live = WriteAheadLog(store)  # the restarted process
+        live.append(2, b"live-only")
+        with pytest.raises(WalCorruptionError, match="another writer"):
+            stale.append(3, b"fork attempt")
+        # The live chain is untouched.
+        assert [(k, p) for _, k, p in live.replay(live.head)] == [
+            (1, b"shared-prefix"),
+            (2, b"live-only"),
+        ]
+
+    def test_kind_must_fit_one_byte(self):
+        wal = WriteAheadLog(InMemoryBlockStore())
+        with pytest.raises(ValueError):
+            wal.append(256, b"")
+        with pytest.raises(ValueError):
+            wal.append(-1, b"")
+
+    def test_corrupted_record_detected(self):
+        store = TamperingBlockStore()
+        wal = WriteAheadLog(store)
+        for i in range(4):
+            wal.append(1, b"record-%d" % i)
+        store.corrupt(2, bit=7)
+        with pytest.raises(WalCorruptionError):
+            list(wal.replay())
+        # A restart over the tampered store fails during open, too.
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(store)
+
+    def test_swapped_records_detected(self):
+        store = TamperingBlockStore()
+        wal = WriteAheadLog(store)
+        wal.append(1, b"first")
+        wal.append(1, b"second")
+        store.swap(1, 2)
+        with pytest.raises(WalCorruptionError):
+            list(wal.replay())
+
+    def test_replayed_block_detected(self):
+        """Serving one record's (valid) bytes at another's address is the
+        positional-replay attack; the position-bound chain hash catches it."""
+        store = TamperingBlockStore()
+        wal = WriteAheadLog(store)
+        wal.append(1, b"first")
+        wal.append(1, b"second")
+        store.intercept = lambda addr, block: (
+            store.history[1][0] if addr == 2 else block
+        )
+        with pytest.raises(WalCorruptionError):
+            list(wal.replay())
+
+    def test_truncated_tail_detected_via_expected_head(self):
+        store = InMemoryBlockStore()
+        wal = WriteAheadLog(store)
+        wal.append(1, b"kept")
+        wal.append(1, b"dropped by the adversary")
+        head = wal.head
+        store.delete(2)
+        # A pure chain walk cannot see a clean truncation...
+        assert [p for _, _, p in WriteAheadLog(store).replay()] == [b"kept"]
+        # ...but a head reconciled from outside the store can.
+        with pytest.raises(WalCorruptionError):
+            list(WriteAheadLog(store).replay(expected_head=head))
+
+    def test_anchor_and_compaction_preserve_replay(self):
+        store = InMemoryBlockStore()
+        wal = WriteAheadLog(store)
+        for i in range(5):
+            wal.append(1, b"old-%d" % i)
+        wal.append(9, b"snapshot")  # the record the anchor will name
+        wal.anchor_now()
+        assert wal.compact_before(6) == 5
+        wal.append(1, b"tail")
+        replayed = [(k, p) for _, k, p in WriteAheadLog(store).replay()]
+        assert replayed == [(9, b"snapshot"), (1, b"tail")]
+
+    def test_anchor_refuses_empty_log(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog(InMemoryBlockStore()).anchor_now()
+
+    def test_corrupted_anchor_detected(self):
+        store = TamperingBlockStore()
+        wal = WriteAheadLog(store)
+        wal.append(9, b"snapshot")
+        wal.anchor_now()
+        store.corrupt(0, bit=100)
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(store)
+
+    def test_stale_anchor_replay_detected(self):
+        """An adversary serving yesterday's anchor (pointing at a compacted
+        snapshot) must not silently resurrect old state."""
+        store = TamperingBlockStore()
+        wal = WriteAheadLog(store)
+        wal.append(9, b"snapshot-one")
+        wal.anchor_now()
+        wal.append(1, b"newer work")
+        wal.append(9, b"snapshot-two")
+        wal.anchor_now()
+        wal.compact_before(3)  # snapshot-one's record is gone
+        store.replay(0, version=0)  # serve the stale anchor on the next read
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(store)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate-signature serialization
+# ---------------------------------------------------------------------------
+class TestAggregateCodec:
+    def test_ecdsa_list_round_trips(self):
+        aggregate = ((12345, 67890), (2**200, 3**100))
+        scheme, data = encode_aggregate_auto(aggregate)
+        assert scheme == "ecdsa-list"
+        assert decode_aggregate(scheme, data) == aggregate
+
+    def test_to_bytes_objects_use_bls(self):
+        class FakeBls:
+            def to_bytes(self):
+                return b"\x01" * 96
+
+        scheme, data = encode_aggregate_auto(FakeBls())
+        assert (scheme, data) == ("bls", b"\x01" * 96)
+
+    def test_unserializable_aggregate_degrades_to_none(self):
+        assert encode_aggregate_auto(object()) == (None, None)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_aggregate("rot13", b"")
+        with pytest.raises(WireFormatError):
+            decode_aggregate("ecdsa-list", b"\x00" * 63)  # not a 64B multiple
+
+
+# ---------------------------------------------------------------------------
+# ProviderJournal: the write-ahead epoch protocol
+# ---------------------------------------------------------------------------
+def _transition(old=b"\xaa" * 32, new=b"\xbb" * 32, root=b"\xcc" * 32):
+    return CertifiedTransition(
+        old_digest=old,
+        new_digest=new,
+        root=root,
+        aggregate=((1, 2), (3, 4)),
+        signer_ids=(0, 1),
+        shard=0,
+        num_shards=1,
+    )
+
+
+class TestProviderJournal:
+    def test_escrow_records_round_trip(self):
+        journal = ProviderJournal(InMemoryBlockStore())
+        journal.record_incremental("alice", b"inc-1")
+        journal.record_incremental("alice", b"inc-2")
+        journal.record_reply("bob", 3, b"escrowed-reply")
+        journal.record_hsm_block(5, 77, b"key-block")
+        journal.record_publish(b"\xdd" * 32)
+        state = journal.replay_state()
+        assert state.incrementals == {"alice": [b"inc-1", b"inc-2"]}
+        assert state.replies == {("bob", 3): [b"escrowed-reply"]}
+        assert state.hsm_blocks == {5: {77: b"key-block"}}
+        assert state.last_publish_root == b"\xdd" * 32
+
+    def test_intent_commit_applies_entries(self):
+        journal = ProviderJournal(InMemoryBlockStore())
+        entries = [(b"rec|a|0", b"h1"), (b"rec|b|0", b"h2")]
+        seq = journal.record_intent(0, 1, b"\xaa" * 32, b"\xbb" * 32, b"\xcc" * 32, entries)
+        journal.record_commit(0, seq, _transition())
+        state = journal.replay_state()
+        assert state.open_intents == {}
+        assert state.shard_entries[0] == entries
+        assert state.shard_epochs[0] == 1
+        (stored,) = state.shard_transitions[0]
+        assert stored.scheme == "ecdsa-list"
+        assert stored.to_certified(0, 1).aggregate == ((1, 2), (3, 4))
+
+    def test_intent_rollback_drops_entries(self):
+        journal = ProviderJournal(InMemoryBlockStore())
+        seq = journal.record_intent(
+            0, 1, b"\xaa" * 32, b"\xbb" * 32, b"\xcc" * 32, [(b"rec|a|0", b"h")]
+        )
+        journal.record_rollback(0, seq)
+        state = journal.replay_state()
+        assert state.open_intents == {}
+        assert state.shard_entries.get(0, []) == []
+        assert state.shard_transitions.get(0, []) == []
+
+    def test_crash_leaves_an_open_intent(self):
+        journal = ProviderJournal(InMemoryBlockStore())
+        journal.record_intent(
+            2, 4, b"\xaa" * 32, b"\xbb" * 32, b"\xcc" * 32, [(b"rec|a|0", b"h")]
+        )
+        state = journal.replay_state()
+        assert list(state.open_intents) == [2]
+        assert state.open_intents[2].entries == [(b"rec|a|0", b"h")]
+
+    def test_double_intent_on_one_lane_rejected(self):
+        journal = ProviderJournal(InMemoryBlockStore())
+        args = (1, 2, b"\xaa" * 32, b"\xbb" * 32, b"\xcc" * 32, [])
+        journal.record_intent(*args)
+        journal.record_intent(*args)  # no crash of run_update can do this
+        with pytest.raises(JournalReplayError):
+            journal.replay_state()
+
+    def test_commit_without_intent_rejected(self):
+        journal = ProviderJournal(InMemoryBlockStore())
+        journal.record_commit(0, 99, _transition())
+        with pytest.raises(JournalReplayError):
+            journal.replay_state()
+
+    def test_rollback_without_intent_rejected(self):
+        journal = ProviderJournal(InMemoryBlockStore())
+        journal.record_rollback(0, 99)
+        with pytest.raises(JournalReplayError):
+            journal.replay_state()
+
+    def test_gc_clears_entries_but_keeps_escrow(self):
+        journal = ProviderJournal(InMemoryBlockStore())
+        seq = journal.record_intent(
+            0, 1, b"\xaa" * 32, b"\xbb" * 32, b"\xcc" * 32, [(b"rec|a|0", b"h")]
+        )
+        journal.record_commit(0, seq, _transition())
+        journal.record_incremental("alice", b"inc")
+        journal.record_gc(1)
+        state = journal.replay_state()
+        assert state.shard_entries[0] == []
+        assert state.garbage_collections == 1
+        assert state.incrementals == {"alice": [b"inc"]}
+
+    def test_snapshot_refuses_open_intents(self):
+        journal = ProviderJournal(InMemoryBlockStore())
+        journal.record_intent(0, 1, b"\xaa" * 32, b"\xbb" * 32, b"\xcc" * 32, [])
+        with pytest.raises(ValueError):
+            journal.write_snapshot(journal.replay_state())
+
+    def test_snapshot_compacts_and_replays_identically(self):
+        store = InMemoryBlockStore()
+        journal = ProviderJournal(store)
+        entries = [(b"rec|a|0", b"h1")]
+        seq = journal.record_intent(
+            0, 1, b"\xaa" * 32, b"\xbb" * 32, b"\xcc" * 32, entries
+        )
+        journal.record_commit(0, seq, _transition())
+        journal.record_reply("bob", 0, b"reply")
+        before = journal.replay_state()
+        blocks_before = len(store)
+        journal.write_snapshot(before)
+        assert len(store) < blocks_before  # history reclaimed
+        journal.record_incremental("carol", b"post-snapshot")
+        after = ProviderJournal(store).replay_state()  # a restarted process
+        assert after.shard_entries == before.shard_entries
+        assert after.replies == before.replies
+        assert after.incrementals == {"carol": [b"post-snapshot"]}
+
+    def test_state_codec_round_trips(self):
+        state = RestoredState(
+            num_shards=2,
+            shard_entries={0: [(b"id", b"v")], 1: []},
+            shard_epochs={0: 3, 1: 1},
+            shard_transitions={
+                0: [
+                    StoredTransition(
+                        old_digest=b"\xaa" * 32,
+                        new_digest=b"\xbb" * 32,
+                        root=b"\xcc" * 32,
+                        signer_ids=(1, 3),
+                        scheme="ecdsa-list",
+                        aggregate=b"\x00" * 64,
+                    )
+                ],
+                1: [],
+            },
+            garbage_collections=2,
+            incrementals={"alice": [b"blob"]},
+            replies={("bob", 1): [b"reply-a", b"reply-b"]},
+            hsm_blocks={0: {4: b"block"}},
+            last_publish_root=b"\xee" * 32,
+        )
+        decoded = decode_state(encode_state(state))
+        assert decoded == state
+
+
+# ---------------------------------------------------------------------------
+# Tampering x restore (deployment level): detected, never silently restored
+# ---------------------------------------------------------------------------
+class TestTamperedRestore:
+    @pytest.fixture(scope="class")
+    def tampered_setup(self):
+        """One durable deployment on a TamperingBlockStore, with a backup."""
+        store = TamperingBlockStore()
+        params = SystemParams.for_testing(num_hsms=4, cluster_size=4)
+        dep = Deployment.create(params, rng=random.Random(7), store=store)
+        dep.new_client("alice", transport="direct").backup(b"secret", "1234")
+        return params, store, dep
+
+    def _survivor(self, store):
+        copy = TamperingBlockStore()
+        copy._blocks = dict(store._blocks)
+        copy.history = {addr: list(v) for addr, v in store.history.items()}
+        return copy
+
+    def test_honest_store_restores(self, tampered_setup):
+        # The control for the tests below: a pristine copy restores fine.
+        params, store, dep = tampered_setup
+        restored = Deployment.restore(params, self._survivor(store), dep.fleet)
+        assert restored.provider.journal is not None
+        assert restored.provider.log.digest == dep.provider.log.digest
+
+    def test_corrupted_block_detected_on_restore(self, tampered_setup):
+        params, store, dep = tampered_setup
+        survivor = self._survivor(store)
+        survivor.corrupt(3, bit=11)
+        with pytest.raises(WalCorruptionError):
+            Deployment.restore(params, survivor, dep.fleet)
+
+    def test_swapped_blocks_detected_on_restore(self, tampered_setup):
+        params, store, dep = tampered_setup
+        survivor = self._survivor(store)
+        survivor.swap(2, 5)
+        with pytest.raises(WalCorruptionError):
+            Deployment.restore(params, survivor, dep.fleet)
+
+    def test_replayed_block_detected_on_restore(self, tampered_setup):
+        params, store, dep = tampered_setup
+        survivor = self._survivor(store)
+        survivor.intercept = lambda addr, block: (
+            survivor.history[1][0] if addr == 4 else block
+        )
+        with pytest.raises(WalCorruptionError):
+            Deployment.restore(params, survivor, dep.fleet)

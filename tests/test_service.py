@@ -399,3 +399,110 @@ class TestRecoveryService:
         stored = service_deployment.provider.fetch_backup("svc-wireback")
         assert stored == sent[0]
         assert stored is not sent[0]
+
+
+# ---------------------------------------------------------------------------
+# Batcher regressions: abandoned leases, lane history, malformed sessions
+# ---------------------------------------------------------------------------
+class TestBatcherRegressions:
+    def test_timed_out_session_takes_no_lease(self, batcher_provider):
+        """Regression: a ticket whose ``wait`` timed out used to be resolved
+        anyway and granted an epoch lease nobody would ever release,
+        stalling the *next* tick for the full lease_timeout."""
+        batcher = EpochBatcher(batcher_provider, lease_timeout=30.0)
+        ghost = batcher.submit("ghost", 0, b"h-ghost")
+        with pytest.raises(ServiceTimeout):
+            ghost.wait(timeout=0.05)  # the session walks away
+        assert batcher.tick() == 0  # the entry commits, nobody is served
+        assert batcher.outstanding_leases() == 0
+        assert batcher.abandoned_sessions == 1
+        assert batcher.sessions_served == 0
+
+        # The next tick is NOT delayed by a leaked lease: it serves a live
+        # session immediately instead of draining for lease_timeout.
+        live = batcher.submit("alive", 0, b"h-live")
+        start = time.monotonic()
+        assert batcher.tick() == 1
+        assert time.monotonic() - start < 5.0
+        live.wait(timeout=1)
+
+    def test_resolution_beats_abandonment_when_racing(self, batcher_provider):
+        """A ticket resolved before ``wait`` re-checks under the lock is
+        served normally (the timeout lapsed but the result arrived)."""
+        batcher = EpochBatcher(batcher_provider)
+        ticket = batcher.submit("racer", 0, b"h-race")
+        batcher.tick()  # resolves before wait is even called
+        identifier, proof = ticket.wait(timeout=0.0)
+        assert identifier
+        assert batcher.outstanding_leases() == 1
+
+    def test_all_lanes_failing_appends_no_history_row(self):
+        """Regression: a sharded tick where EVERY lane failed used to append
+        an epoch_sessions/epoch_digests row even though no epoch committed,
+        desynchronizing the history from the single-log path (which appends
+        nothing on failure)."""
+        deployment = Deployment.create(
+            SystemParams.for_testing(num_hsms=8, cluster_size=4),
+            rng=random.Random(17),
+            shards=2,
+        )
+        failing = EpochBatcher(
+            deployment.provider,
+            shard_runner=lambda shards: {
+                shard: RuntimeError("lane down") for shard in shards
+            },
+        )
+        tickets = [failing.submit(f"lane-user-{i}", 0, b"h%d" % i) for i in range(4)]
+        assert failing.tick() == 0
+        assert list(failing.epoch_sessions) == []
+        assert list(failing.epoch_digests) == []
+        assert failing.epoch_failures >= 1
+        assert failing.epochs_run == 0
+        for ticket in tickets:
+            with pytest.raises(ProviderError):
+                ticket.wait(timeout=1)
+        # History stays paired — the invariant the desync broke.
+        assert len(failing.epoch_sessions) == len(failing.epoch_digests)
+
+    def test_partial_lane_failure_appends_one_row(self):
+        """One committed lane out of two still records exactly one paired
+        history row for the tick (and fails only its own tickets)."""
+        deployment = Deployment.create(
+            SystemParams.for_testing(num_hsms=8, cluster_size=4),
+            rng=random.Random(18),
+            shards=2,
+        )
+        log = deployment.provider.log
+
+        def half_runner(shards):
+            outcomes = {}
+            for shard in shards:
+                if shard == min(shards):
+                    log.run_shard_update(shard, deployment.fleet.hsms)
+                    outcomes[shard] = None
+                else:
+                    outcomes[shard] = RuntimeError("lane down")
+            return outcomes
+
+        batcher = EpochBatcher(deployment.provider, shard_runner=half_runner)
+        for i in range(12):  # enough sessions to hit both shards
+            batcher.submit(f"half-user-{i}", 0, b"h%d" % i)
+        served = batcher.tick()
+        assert 0 < served < 12
+        assert len(batcher.epoch_sessions) == len(batcher.epoch_digests) == 1
+        assert batcher.epoch_sessions[0] == served
+
+    def test_malformed_session_fails_its_ticket(self, batcher_provider):
+        """Regression: a ValueError from the insertion (reserved '|' in the
+        username, negative attempt) used to escape ``submit`` raw instead
+        of failing the ticket like the duplicate-identifier KeyError."""
+        batcher = EpochBatcher(batcher_provider)
+        bad_name = batcher.submit("bad|user", 0, b"h")
+        bad_attempt = batcher.submit("fine", -1, b"h")
+        good = batcher.submit("fine", 0, b"h")
+        assert batcher.tick() == 1
+        with pytest.raises(ProviderError, match="[|]"):
+            bad_name.wait(timeout=1)
+        with pytest.raises(ProviderError):
+            bad_attempt.wait(timeout=1)
+        good.wait(timeout=1)  # the batch itself is unaffected

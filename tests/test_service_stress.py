@@ -94,6 +94,10 @@ def test_sixteen_threaded_clients_interleave_backup_and_recovery():
     assert stats["epochs_run"] == len(stats["epoch_sessions"])
     assert sum(stats["epoch_sessions"]) == total_sessions
     assert stats["epochs_run"] < total_sessions  # batching actually batched
+    # History rows are appended in lockstep (a tick that commits nothing
+    # appends nothing): sessions and digests always pair up.
+    assert len(stats["epoch_sessions"]) == len(service.batcher.epoch_digests)
+    assert service.batcher.abandoned_sessions == 0
 
     # -- every session holds a valid proof from the epoch that served it -------
     digests = service.batcher.epoch_digests
