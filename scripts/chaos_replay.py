@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""chaos_replay: re-execute a recorded chaos violation exactly.
+
+A replay file (written by ``scripts/chaos_campaign.py`` or
+``repro.chaos.replay.write_replay``) pins a violation to
+``(scenario, seed, step)``.  This CLI re-runs the scenario at that seed
+and verifies the same invariant fires at the same step with the same
+event-trace digest — turning "the chaos campaign failed last night" into
+a deterministic, single-command reproduction.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_replay.py benchmarks/out/chaos_replay_demo.json
+
+Exit codes: 0 = reproduced exactly; 1 = replay diverged (nondeterminism
+or a since-fixed bug); 2 = unreadable replay file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.chaos.replay import ReplayMismatch, load_replay, replay_file  # noqa: E402
+
+
+def main(argv=None) -> int:
+    """CLI entry point: replay each file given on the command line."""
+    parser = argparse.ArgumentParser(
+        prog="chaos_replay", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("files", nargs="+", help="replay file(s) to re-execute")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.files:
+        try:
+            record = load_replay(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable replay file: {exc}", file=sys.stderr)
+            return 2
+        print(f"{path}: replaying {record['scenario']} @ seed {record['seed']}"
+              f" (expect {record['invariant']} at step {record['violation_step']})")
+        try:
+            report = replay_file(path)
+        except ReplayMismatch as exc:
+            print(f"{path}: REPLAY DIVERGED: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        violation = report.violations[0]
+        print(f"{path}: reproduced {violation.invariant} at step"
+              f" {violation.step} ({report.steps} steps executed,"
+              f" trace digest {report.trace_digest[:16]}…)")
+        print(f"  message: {violation.message}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

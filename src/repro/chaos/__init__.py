@@ -1,0 +1,54 @@
+"""Deterministic chaos campaigns: seeded scheduler, scenarios, exact replay.
+
+The chaos layer turns "flaky under concurrency" into "reproducible
+counterexample".  A run is a pure function of ``(scenario, seed)``:
+
+- :mod:`repro.chaos.entropy` routes every entropy source the protocol
+  stack touches (``secrets``, ``os.urandom``, the global ``random``
+  module) through one seeded DRBG for the duration of a run;
+- :mod:`repro.chaos.scheduler` owns a virtual clock and a deterministic
+  event queue — all workload, fault, and maintenance activity steps
+  cooperatively through it, and every step appends one line to a trace
+  whose digest is byte-identical across same-seed runs;
+- :mod:`repro.chaos.engine` executes scenarios against a real
+  :class:`~repro.core.protocol.Deployment` (live protocol sessions,
+  device-loss waves, geo-partitions, flaky provider RPC, crash/restore,
+  adversaries) while continuously evaluating the invariants in
+  :mod:`repro.chaos.invariants`;
+- :mod:`repro.chaos.scenarios` is the catalog; :mod:`repro.chaos.replay`
+  writes and re-executes replay files so any violation reproduces at the
+  identical step.
+
+Thread safety: chaos runs are strictly single-threaded by design — the
+scheduler *is* the concurrency model (interleavings come from event
+order, not threads), which is what makes exact replay possible.
+"""
+
+from repro.chaos.engine import ChaosEngine, ChaosReport, run_scenario
+from repro.chaos.entropy import DeterministicEntropy
+from repro.chaos.invariants import Violation, run_invariant_checks
+from repro.chaos.replay import load_replay, replay_file, write_replay
+from repro.chaos.scenarios import (
+    DEMO_SCENARIO,
+    QUICK_SCENARIOS,
+    SCENARIOS,
+    Scenario,
+)
+from repro.chaos.scheduler import DeterministicScheduler
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosReport",
+    "run_scenario",
+    "DeterministicEntropy",
+    "Violation",
+    "run_invariant_checks",
+    "load_replay",
+    "replay_file",
+    "write_replay",
+    "DEMO_SCENARIO",
+    "QUICK_SCENARIOS",
+    "SCENARIOS",
+    "Scenario",
+    "DeterministicScheduler",
+]

@@ -1,0 +1,104 @@
+"""Seeded entropy hijack: every randomness source becomes a DRBG stream.
+
+The protocol stack draws randomness from ``secrets`` (token bytes, salts,
+ElGamal nonces, EC keygen) and from ``random.SystemRandom`` (robust-Shamir
+subset sampling), both of which bottom out in OS entropy.  A chaos run
+must be a pure function of its seed, so for the duration of a run this
+module reroutes those sources through one deterministic byte stream:
+
+- ``os.urandom`` and ``random._urandom`` (the import ``random.SystemRandom``
+  actually calls) are replaced by a seeded PRNG's ``randbytes``, which
+  makes every ``secrets`` helper and every ``SystemRandom`` method
+  deterministic at once;
+- ``secrets.token_bytes`` / ``secrets.token_hex`` are patched explicitly
+  as well (belt and braces — they are the call sites the codebase uses);
+- the global ``random`` module state is snapshotted and reseeded, so an
+  accidental global-``random`` call inside the stack cannot leak host
+  nondeterminism into a run (the determinism test would catch the leak).
+
+Everything is restored on exit, including the global ``random`` state.
+
+Thread safety: none — the hijack patches process-global modules and must
+wrap exactly one single-threaded chaos run at a time (nesting raises).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random as random_module
+import secrets as secrets_module
+from typing import Optional
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """A 64-bit child seed bound to ``(seed, label)`` (domain-separated, so
+    adding a stream never perturbs sibling streams)."""
+    digest = hashlib.sha256(f"repro.chaos|{seed}|{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class DeterministicEntropy:
+    """Context manager that pins all ambient entropy to a seed.
+
+    Usage::
+
+        with DeterministicEntropy(seed):
+            ...   # every secrets/os.urandom/SystemRandom draw is seeded
+
+    The underlying stream is a ``random.Random`` seeded from
+    ``derive_seed(seed, "entropy")``; distinct seeds give independent
+    streams, identical seeds give byte-identical ones.
+    """
+
+    _active: Optional["DeterministicEntropy"] = None
+
+    def __init__(self, seed: int) -> None:
+        """Prepare a hijack for ``seed`` (nothing is patched until entry)."""
+        self.seed = seed
+        self._drbg = random_module.Random(derive_seed(seed, "entropy"))
+        self._saved: dict = {}
+
+    def _randbytes(self, n: int) -> bytes:
+        return self._drbg.randbytes(n)
+
+    def __enter__(self) -> "DeterministicEntropy":
+        """Patch the entropy sources; raises if a hijack is already live."""
+        if DeterministicEntropy._active is not None:
+            raise RuntimeError("DeterministicEntropy does not nest")
+        DeterministicEntropy._active = self
+        self._saved = {
+            "os.urandom": os.urandom,
+            "random._urandom": getattr(random_module, "_urandom", None),
+            "secrets.token_bytes": secrets_module.token_bytes,
+            "secrets.token_hex": secrets_module.token_hex,
+            "random.state": random_module.getstate(),
+        }
+        hijack = self._randbytes
+        os.urandom = hijack
+        if self._saved["random._urandom"] is not None:
+            # SystemRandom.random/getrandbits/randbytes all read this module
+            # global, so one patch covers secrets.randbelow/randbits and the
+            # robust-Shamir SystemRandom sampling in one go.
+            random_module._urandom = hijack
+
+        def token_bytes(nbytes: Optional[int] = None) -> bytes:
+            return hijack(32 if nbytes is None else nbytes)
+
+        def token_hex(nbytes: Optional[int] = None) -> str:
+            return token_bytes(nbytes).hex()
+
+        secrets_module.token_bytes = token_bytes
+        secrets_module.token_hex = token_hex
+        random_module.seed(derive_seed(self.seed, "global-random"))
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Restore every patched source and the global ``random`` state."""
+        os.urandom = self._saved["os.urandom"]
+        if self._saved["random._urandom"] is not None:
+            random_module._urandom = self._saved["random._urandom"]
+        secrets_module.token_bytes = self._saved["secrets.token_bytes"]
+        secrets_module.token_hex = self._saved["secrets.token_hex"]
+        random_module.setstate(self._saved["random.state"])
+        DeterministicEntropy._active = None

@@ -1,0 +1,119 @@
+"""Replay files: a violation is a reproducible artifact, not a flake.
+
+Because a chaos run is a pure function of ``(scenario, seed)``, pinning a
+violation takes three numbers: scenario name, seed, and the step index at
+which the violation was recorded.  :func:`write_replay` dumps exactly that
+(schema-versioned JSON, plus the invariant name / message and the trace
+digest for cross-checking); :func:`replay_file` re-executes the run and
+verifies the same invariant fires at the same step — CI does this round
+trip on the deliberately-violating demo scenario every push.
+
+A replay file deliberately stores no state snapshot: re-executing from
+the seed *is* the reproduction, which also re-validates that the engine
+stayed deterministic since the violation was captured (a digest mismatch
+on replay means nondeterminism crept in — itself a bug to chase).
+
+Thread safety: plain functions over JSON files; no shared state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.chaos.engine import ChaosReport, run_scenario
+from repro.chaos.scenarios import DEMO_SCENARIO, SCENARIOS, Scenario
+
+#: Replay files carry a schema version so future fields stay additive.
+REPLAY_SCHEMA = 1
+
+
+def write_replay(report: ChaosReport, path: str, quick: bool = False) -> Dict:
+    """Dump ``report``'s first violation as a replay file at ``path``.
+
+    Returns the written record.  Raises ``ValueError`` if the report has no
+    violations (there is nothing to replay).
+    """
+    if not report.violations:
+        raise ValueError("report has no violations; nothing to replay")
+    first = report.violations[0]
+    record = {
+        "schema": REPLAY_SCHEMA,
+        "scenario": report.scenario,
+        "seed": report.seed,
+        "quick": quick,
+        "violation_step": first.step,
+        "invariant": first.invariant,
+        "message": first.message,
+        "trace_digest": report.trace_digest,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return record
+
+
+def load_replay(path: str) -> Dict:
+    """Load and schema-check a replay file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    if record.get("schema") != REPLAY_SCHEMA:
+        raise ValueError(
+            f"unsupported replay schema {record.get('schema')!r} in {path}"
+        )
+    for key in ("scenario", "seed", "violation_step", "invariant"):
+        if key not in record:
+            raise ValueError(f"replay file {path} is missing {key!r}")
+    return record
+
+
+def _resolve_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (catalog plus the demo scenario)."""
+    if name == DEMO_SCENARIO.name:
+        return DEMO_SCENARIO
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r} in replay file")
+    return SCENARIOS[name]
+
+
+def replay_file(path: str) -> ChaosReport:
+    """Re-execute the run a replay file pins and verify the reproduction.
+
+    The run is re-executed with the recorded ``(scenario, seed)`` and
+    stopped at the first violation; the reproduction must then match the
+    record — same step index, same invariant — or a ``ReplayMismatch`` is
+    raised (which would mean the engine lost determinism).
+    """
+    record = load_replay(path)
+    report = run_scenario(
+        _resolve_scenario(record["scenario"]),
+        int(record["seed"]),
+        quick=bool(record.get("quick", False)),
+        stop_on_violation=True,
+    )
+    if not report.violations:
+        raise ReplayMismatch(
+            f"replay of {record['scenario']}@{record['seed']} produced no"
+            f" violation (expected {record['invariant']!r} at step"
+            f" {record['violation_step']})"
+        )
+    first = report.violations[0]
+    if (first.step, first.invariant) != (
+        record["violation_step"], record["invariant"]
+    ):
+        raise ReplayMismatch(
+            f"replay diverged: expected {record['invariant']!r} at step"
+            f" {record['violation_step']}, got {first.invariant!r} at step"
+            f" {first.step}"
+        )
+    expected_digest: Optional[str] = record.get("trace_digest")
+    if expected_digest is not None and report.trace_digest != expected_digest:
+        raise ReplayMismatch(
+            "replay reached the recorded violation but the event trace"
+            " digest differs — nondeterminism upstream of the violation"
+        )
+    return report
+
+
+class ReplayMismatch(AssertionError):
+    """The re-execution did not reproduce the recorded violation exactly."""

@@ -93,6 +93,13 @@ class HsmFleet:
         for hsm in self.hsms:
             hsm.restart()
 
+    def restart(self, indices: Sequence[int]) -> None:
+        """Bring specific failed HSMs back online (a replacement wave:
+        chaos scenarios fail a batch via :meth:`fail_random` and later
+        restart exactly that batch, modeling device replacement)."""
+        for index in indices:
+            self.hsms[index].restart()
+
     def compromise(self, indices: Sequence[int]):
         """Extract secrets from the given HSMs (the adaptive attacker)."""
         return [self.hsms[i].extract_secrets() for i in indices]

@@ -30,6 +30,8 @@ _DEFAULT_SCOPES = (
     "src/repro/log/",
     "src/repro/core/wire.py",
     "src/repro/storage/",
+    "src/repro/chaos/",
+    "src/repro/sim/faults.py",
 )
 
 

@@ -19,9 +19,16 @@ from repro.sim.capacity import (
     plan_deployment,
     recoveries_per_year,
 )
-from repro.sim.workload import PoissonWorkload, simulate_queue_p99
+from repro.sim.workload import (
+    DiurnalWorkload,
+    PoissonWorkload,
+    percentile,
+    simulate_queue_p99,
+)
 
 __all__ = [
+    "DiurnalWorkload",
+    "percentile",
     "EpochBatchModel",
     "EpochShardModel",
     "MM1Queue",

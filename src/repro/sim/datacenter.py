@@ -38,11 +38,12 @@ class SimResult:
     rotations: int
 
     def percentile(self, p: float) -> float:
-        if not self.latencies:
-            return float("nan")
-        ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1, int(p * len(ordered)))
-        return ordered[index]
+        """Latency ``p``-quantile under the ceil-rank convention (p99 of 100
+        samples is the 99th-smallest, not the max — see
+        :func:`repro.sim.workload.percentile`)."""
+        from repro.sim.workload import percentile
+
+        return percentile(self.latencies, p)
 
     @property
     def mean_latency(self) -> float:

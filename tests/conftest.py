@@ -1,31 +1,28 @@
-"""Shared fixtures and fault-injection helpers.
+"""Shared fixtures and fault-injection re-exports.
 
 Protocol-level tests share one session-scoped deployment where possible
 (HSM keygen is the expensive part); tests that fail-stop or compromise HSMs
 build their own so they cannot poison neighbours.
 
-The ``Flaky*`` wrappers inject deterministic byte-level transport faults
-(drops, duplicates, bit-flips, truncation, trailing garbage) from a seed,
-so the suite can prove that a hostile or lossy network surfaces *typed*
-errors — never a raw crash, never corrupted provider state.
+The deterministic ``Flaky*`` fault-injection toolkit now lives in
+``repro.sim.faults`` (shared with the chaos layer); the names below are
+thin re-export shims so existing ``from conftest import ...`` sites keep
+working.
 """
 
 from __future__ import annotations
 
 import random
-from collections import Counter
 
 import pytest
 
-from repro.core import wire
 from repro.core.params import SystemParams
 from repro.core.protocol import Deployment
-from repro.service.channel import (
-    Channel,
-    HsmWireEndpoint,
-    ProviderWireEndpoint,
-    WireProviderChannel,
-    _STATUS_EXCEPTIONS,
+from repro.sim.faults import (  # noqa: F401 - re-exported for the test suite
+    FlakyChannel,
+    FlakyProviderChannel,
+    FlakyTransport,
+    FrameDropped,
 )
 
 
@@ -69,84 +66,3 @@ def unique_user() -> str:
     return f"user-{_COUNTER['n']}"
 
 
-# ---------------------------------------------------------------------------
-# Deterministic byte-level fault injection
-# ---------------------------------------------------------------------------
-class FrameDropped(Exception):
-    """The fault injector dropped a frame (models a transport timeout)."""
-
-
-class FlakyTransport:
-    """Wrap a ``bytes -> bytes`` handler with seeded frame faults.
-
-    Per call, a mode is drawn from a PRNG seeded at construction (so runs
-    are reproducible): pass-through (weighted by ``ok_weight``), a request
-    bit-flip, a reply bit-flip, reply truncation, trailing garbage on the
-    reply, duplicate delivery (the handler runs twice — a retransmission),
-    or a drop (raises :class:`FrameDropped` before the handler runs).
-    ``faults_injected`` counts what actually happened.
-    """
-
-    FAULTS = (
-        "corrupt_request",
-        "corrupt_reply",
-        "truncate_reply",
-        "garbage_reply",
-        "duplicate",
-        "drop",
-    )
-
-    def __init__(self, handle, seed: int, ok_weight: int = 4) -> None:
-        self._handle = handle
-        self._rng = random.Random(seed)
-        self._modes = ("ok",) * ok_weight + self.FAULTS
-        self.faults_injected: Counter = Counter()
-
-    def __call__(self, request: bytes) -> bytes:
-        mode = self._rng.choice(self._modes)
-        self.faults_injected[mode] += 1
-        if mode == "drop":
-            raise FrameDropped("frame dropped by fault injector")
-        if mode == "corrupt_request":
-            request = self._flip_bit(request)
-        reply = self._handle(request)
-        if mode == "duplicate":
-            reply = self._handle(request)
-        elif mode == "corrupt_reply":
-            reply = self._flip_bit(reply)
-        elif mode == "truncate_reply":
-            reply = reply[: self._rng.randrange(len(reply))] if reply else reply
-        elif mode == "garbage_reply":
-            reply = reply + bytes([self._rng.randrange(256)])
-        return reply
-
-    def _flip_bit(self, data: bytes) -> bytes:
-        if not data:
-            return data
-        index = self._rng.randrange(len(data))
-        flipped = data[index] ^ (1 << self._rng.randrange(8))
-        return data[:index] + bytes([flipped]) + data[index + 1 :]
-
-
-class FlakyProviderChannel(WireProviderChannel):
-    """A wire provider channel whose transport injects seeded faults."""
-
-    def __init__(self, endpoint: ProviderWireEndpoint, seed: int, ok_weight: int = 4):
-        self.faults = FlakyTransport(endpoint.handle, seed, ok_weight)
-        super().__init__(self.faults)
-
-
-class FlakyChannel(Channel):
-    """A client->HSM wire channel whose transport injects seeded faults."""
-
-    def __init__(self, device, seed: int, ok_weight: int = 4) -> None:
-        endpoint = HsmWireEndpoint(device)
-        self.faults = FlakyTransport(endpoint.handle_decrypt_share, seed, ok_weight)
-
-    def decrypt_share(self, request):
-        """Round-trip through the flaky transport; re-raise error statuses."""
-        reply_bytes = self.faults(wire.encode_decrypt_request(request))
-        status, payload = wire.decode_decrypt_reply(reply_bytes)
-        if status == wire.REPLY_OK:
-            return payload
-        raise _STATUS_EXCEPTIONS[status](payload)

@@ -263,3 +263,95 @@ class TestServiceRestart:
         service = dep.recovery_service(transport="direct")
         with pytest.raises(ProviderError, match="durable"):
             service.restart()
+
+
+# ---------------------------------------------------------------------------
+# Durability x transport faults: crash while the provider leg is flaky
+# ---------------------------------------------------------------------------
+class TestCrashRestoreUnderFlakyChannel:
+    """The durable provider crashes while client traffic rides a seeded
+    FlakyProviderChannel — the two fault layers the chaos campaign mixes.
+    Frame drops and corruption must never corrupt what the journal holds:
+    restore from the survivor image must agree with an independent replay
+    and serve fresh traffic."""
+
+    # A recovery makes ~a dozen provider RPCs; ok_weight=60 keeps the
+    # per-call fault rate ~10% so a visible fraction of sessions complete
+    # while the rest die to injected faults (the schedule is seed-pinned).
+    def _flaky_client(self, dep, params, username, seed, ok_weight=60):
+        from repro.core.client import Client
+        from repro.service.channel import ProviderWireEndpoint, direct_channels
+        from repro.sim.faults import FlakyProviderChannel
+
+        return Client(
+            username=username,
+            params=params,
+            provider=FlakyProviderChannel(
+                ProviderWireEndpoint(dep.provider), seed=seed, ok_weight=ok_weight
+            ),
+            channels=direct_channels(dep.fleet),
+            mpk=dep.fleet.master_public_key(),
+        )
+
+    def test_crash_mid_traffic_on_flaky_leg_then_restore(self):
+        from repro.core.client import RecoveryError
+        from repro.core.wire import WireFormatError
+        from repro.sim.faults import FrameDropped
+
+        clean = (ProviderError, RecoveryError, WireFormatError, FrameDropped)
+        store = CrashingBlockStore()
+        params = durable_params()
+        dep = Deployment.create(params, rng=random.Random(41), shards=SHARDS, store=store)
+
+        # Phase 1: flaky traffic against the healthy store — some sessions
+        # complete, some die to injected frame faults (all typed).
+        recovered = []
+        for i in range(10):
+            client = self._flaky_client(dep, params, f"flaky-{i}", seed=100 + i)
+            secret = b"secret-%d" % i
+            try:
+                client.backup(secret, "4242")
+                assert client.recover("4242") == secret
+                recovered.append(f"flaky-{i}")
+            except clean:
+                continue
+        assert recovered, "fault schedule starved every session; adjust seeds"
+
+        # Phase 2: arm the store and keep driving flaky traffic until the
+        # provider process dies mid-write.
+        store.crash_after(5)
+        crashed = False
+        for i in range(40):
+            client = self._flaky_client(dep, params, f"kill-{i}", seed=500 + i)
+            try:
+                client.backup(b"doomed", "1111")
+                client.recover("1111")
+            except CrashError:
+                crashed = True
+                break
+            except clean:
+                continue
+        assert crashed, "armed crash never fired"
+
+        # Phase 3: restart from exactly the durably-written blocks.
+        survivor = store.blocks
+        restored = Deployment.restore(params, survivor, dep.fleet, shards=SHARDS)
+
+        # An independent journal replay agrees with the restored provider
+        # (digest chain, counters, escrow) and no open intent survived.
+        from repro.chaos.invariants import run_invariant_checks
+
+        usernames = recovered + [f"kill-{i}" for i in range(3)]
+        assert run_invariant_checks(
+            restored.provider, usernames, {}, include_journal=True
+        ) == []
+        for username in usernames:
+            assert restored.provider.next_attempt_number(
+                username
+            ) == restored.provider.scan_attempt_number(username)
+
+        # Liveness: the restored deployment serves a fresh (healthy-channel)
+        # client end to end.
+        fresh = restored.new_client("post-crash", transport="direct")
+        fresh.backup(b"post-crash-secret", "2468")
+        assert fresh.recover("2468") == b"post-crash-secret"

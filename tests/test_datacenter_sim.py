@@ -19,6 +19,44 @@ def fast_model(service_seconds=0.1, rotation_seconds=50.0, punctures=1000):
     )
 
 
+class TestPercentileConvention:
+    """Pins the ceil-rank percentile convention (regression: the old
+    ``int(p * n)`` index over-shot by one rank, so p99 of 100 samples
+    returned the max instead of the 99th-smallest)."""
+
+    def test_known_list_pins_p50_p99(self):
+        from repro.sim.workload import percentile
+
+        samples = list(range(1, 101))  # 1..100, already a permutation-proof set
+        assert percentile(samples, 0.50) == 50
+        assert percentile(samples, 0.99) == 99  # NOT 100: ceil-rank, not index
+        assert percentile(samples, 1.00) == 100
+        assert percentile(samples, 0.01) == 1
+
+    def test_small_list_and_edges(self):
+        import math
+
+        from repro.sim.workload import percentile
+
+        assert percentile([40.0, 10.0, 30.0, 20.0], 0.50) == 20.0
+        assert percentile([40.0, 10.0, 30.0, 20.0], 0.99) == 40.0
+        assert percentile([7.0], 0.99) == 7.0
+        assert math.isnan(percentile([], 0.5))
+
+    def test_simresult_delegates_to_shared_convention(self):
+        from repro.sim.datacenter import SimResult
+
+        result = SimResult(
+            completed_jobs=100,
+            latencies=[float(v) for v in range(1, 101)],
+            busy_fraction=0.0,
+            rotating_fraction=0.0,
+            rotations=0,
+        )
+        assert result.percentile(0.99) == 99.0
+        assert result.percentile(0.50) == 50.0
+
+
 class TestBasics:
     def test_parameter_validation(self):
         with pytest.raises(ValueError):

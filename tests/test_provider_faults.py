@@ -1,7 +1,8 @@
 """Fault injection: a lossy/hostile transport must surface typed errors and
 can never corrupt log or counter state.
 
-``FlakyProviderChannel`` / ``FlakyChannel`` (tests/conftest.py) wrap the
+``FlakyProviderChannel`` / ``FlakyChannel`` (``repro.sim.faults``,
+re-exported by ``tests/conftest.py``) wrap the
 provider RPC and client->HSM wire transports with deterministic seeded
 frame faults — drops, duplicates (retransmission), bit-flips, truncation,
 trailing garbage.  Sessions run through ``RecoveryService`` (provider leg)
