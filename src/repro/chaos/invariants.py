@@ -7,7 +7,9 @@ so any breakage is pinned to an exact step index:
 
 - **log-digest-chain** — replaying each (shard) log's committed entries
   through a fresh authenticated dictionary reproduces its live digest;
-  nothing is left pending between epochs.
+  nothing is left pending between epochs; and for sharded logs the
+  incrementally-maintained cross-shard root matches a from-scratch
+  Merkle recompute over the replayed shard digests.
 - **attempt-counters** — the O(1) per-user attempt counters are never
   *behind* the reference full-log scan (behind would re-issue a logged
   attempt number: corruption; ahead only under-serves, by design).
@@ -32,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 from repro.log.authdict import AuthenticatedDictionary
+from repro.log.sharded import cross_shard_root
 from repro.storage.journal import ProviderJournal
 
 
@@ -55,10 +58,20 @@ def _component_logs(log) -> List:
 
 
 def check_digest_chain(provider) -> List[Violation]:
-    """Replay committed entries per shard; digests must match exactly."""
+    """Replay committed entries per shard; digests must match exactly.
+
+    For sharded logs this also recomputes the cross-shard root *from
+    scratch* over the replayed shard digests and compares it to the live
+    ``log.digest`` — the live value is maintained incrementally (O(log S)
+    path updates per dirty shard), and this is the reference it must stay
+    byte-identical to.
+    """
     out: List[Violation] = []
-    for shard, log in enumerate(_component_logs(provider.log)):
+    components = _component_logs(provider.log)
+    replayed_digests: List[bytes] = []
+    for shard, log in enumerate(components):
         replayed = AuthenticatedDictionary.from_entries(log.ordered_entries)
+        replayed_digests.append(replayed.digest)
         if replayed.digest != log.digest:
             out.append(Violation(
                 "log-digest-chain",
@@ -70,6 +83,14 @@ def check_digest_chain(provider) -> List[Violation]:
                 "log-digest-chain",
                 f"shard {shard}: {len(log.pending)} entries left pending between"
                 " epochs",
+            ))
+    if hasattr(provider.log, "shards"):
+        if cross_shard_root(replayed_digests) != provider.log.digest:
+            out.append(Violation(
+                "log-digest-chain",
+                "incrementally-maintained cross-shard root disagrees with the"
+                f" from-scratch Merkle root over all {len(components)} replayed"
+                " shard digests",
             ))
     return out
 

@@ -43,7 +43,7 @@ from repro.core.identifiers import parse_attempt_identifier
 from repro.crypto.ec import ECPoint
 from repro.crypto.elgamal import ElGamalCiphertext, HashedElGamal
 from repro.crypto.gcm import AuthenticationError
-from repro.crypto.merkle import MerkleTree
+from repro.crypto.merkle import IncrementalMerkleTree, MerkleTree
 from repro.log.authdict import InclusionProof, empty_digest, verify_extension, verify_includes
 from repro.log.distributed import (
     LogConfig,
@@ -53,7 +53,7 @@ from repro.log.distributed import (
     audit_chunk_indices,
     shard_transition_message,
 )
-from repro.log.sharded import ShardedInclusionProof, cross_shard_root, shard_of
+from repro.log.sharded import ShardedInclusionProof, shard_leaf, shard_of
 from repro.metering import OpMeter
 from repro.storage.blockstore import BlockStore, InMemoryBlockStore
 
@@ -155,6 +155,15 @@ class HsmDevice:
         # enqueue directly; this device's worker drains at sync time).
         self._pending_foreign: Dict[int, List] = {}
         self._offer_lock = threading.Lock()
+        # Incremental cross-shard root over _shard_digests: adopting one
+        # lane's transition re-anchors in O(log S) hashes instead of the
+        # O(S) rebuild cross_shard_root pays.  Dirty lanes are detected by
+        # comparing against the cached leaves on read, so every digest
+        # mutation path (accept, sync, GC, reshard) is covered without
+        # hooks.  No lock: all _shard_digests access is already serialized
+        # by the device's FIFO worker discipline.
+        self._root_tree: Optional[IncrementalMerkleTree] = None
+        self._root_leaves: List[bytes] = []
         # Directory of fleet signing keys, installed at provisioning time so
         # the device can verify aggregate signatures (the paper's aggregate
         # public key).  index -> public key object.
@@ -208,7 +217,26 @@ class HsmDevice:
             with self.meter.attached():
                 for shard in pending:
                     self._sync_shard(shard)
-        return cross_shard_root(self._shard_digests)
+        return self._incremental_root()
+
+    def _incremental_root(self) -> bytes:
+        """The cross-shard root over this device's per-shard digests,
+        rehashing only the lanes that moved since the last read
+        (byte-identical to :func:`cross_shard_root`)."""
+        if self._root_tree is None or len(self._root_leaves) != len(
+            self._shard_digests
+        ):
+            # First sharded read, or the arity changed (reshard): rebuild.
+            self._root_leaves = list(self._shard_digests)
+            self._root_tree = IncrementalMerkleTree(
+                [shard_leaf(i, d) for i, d in enumerate(self._root_leaves)]
+            )
+            return self._root_tree.root
+        for index, digest in enumerate(self._shard_digests):
+            if digest != self._root_leaves[index]:
+                self._root_tree.update(index, shard_leaf(index, digest))
+                self._root_leaves[index] = digest
+        return self._root_tree.root
 
     @property
     def _log_digest(self) -> bytes:

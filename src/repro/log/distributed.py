@@ -422,6 +422,12 @@ class DistributedLog:
         self._pending: List[Tuple[bytes, bytes]] = list(entries)
         self._pending_ids = {identifier for identifier, _ in self._pending}
 
+    @property
+    def has_pending(self) -> bool:
+        """O(1) emptiness check — reading :attr:`pending` snapshots the
+        whole queue, which a per-tick poll must not pay."""
+        return bool(self._pending)
+
     def insert(self, identifier: bytes, value: bytes) -> None:
         """Queue an identifier-value pair for the next update epoch."""
         if identifier in self.dict or identifier in self._pending_ids:

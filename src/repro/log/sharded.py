@@ -28,6 +28,18 @@ its own copy of the shard digest and recomputes the identifier's shard
 itself (write-once stays intact: an identifier maps to exactly one shard,
 so no value can be re-logged in a sibling lane).
 
+The root is maintained *incrementally*: ``ShardedLog`` keeps a persistent
+:class:`~repro.crypto.merkle.IncrementalMerkleTree` over the shard-digest
+leaves and, on every root read, rehashes only the O(log S) paths of
+shards whose digest moved since the last read (detected by a byte compare
+against the cached leaf values, so even out-of-band shard mutation —
+adversarial subclasses, chaos tampering — can never serve a stale root).
+An epoch that commits one shard therefore costs O(log S) hashing to
+re-anchor, not the O(S) rebuild :func:`cross_shard_root` pays — that
+function remains as the from-scratch reference, and the incremental root
+is byte-identical to it by construction (property-tested in
+``tests/test_sharded_log.py``).
+
 Security note on write-once: because ``shard_of`` is a public deterministic
 function of the identifier and ``num_shards``, the per-shard duplicate
 check *is* the global duplicate check — there is no cross-shard race.  The
@@ -45,19 +57,22 @@ Thread safety: individual shards are plain (unsynchronized)
 one-lane-per-shard discipline: at most one thread drives
 ``run_shard_update(k, ...)`` for a given ``k`` at a time, and client-facing
 mutation (``insert``/``prove_includes``/``pending``) is serialized by the
-caller (the serving layer holds ``EpochBatcher.lock``).  ``digest`` only
-reads each shard's current digest and may race benignly with a committing
-lane — callers that need a settled root read it after joining the lanes.
+caller (the serving layer holds ``EpochBatcher.lock``).  ``digest`` holds
+``_root_lock`` while folding dirty shard digests into the incremental
+root tree, so concurrent root reads never corrupt the tree; it may still
+race benignly with a committing lane — callers that need a settled root
+read it after joining the lanes.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashing import sha256
-from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.merkle import IncrementalMerkleTree, MerkleProof, MerkleTree
 from repro.log.authdict import (
     AuthenticatedDictionary,
     InclusionProof,
@@ -160,6 +175,15 @@ class ShardedLog:
     this class is *untrusted* in the threat model.
     """
 
+    #: Lock contract (see `repro.lintkit`'s lock-discipline pass): the
+    #: incremental root tree and its cached leaf digests are only mutated
+    #: under ``_root_lock``, so concurrent ``digest``/``prove_includes``
+    #: readers can never interleave partial path updates.
+    _GUARDED_BY = {
+        "_root_tree": "_root_lock",
+        "_root_leaves": "_root_lock",
+    }
+
     def __init__(self, config: Optional[LogConfig] = None, num_shards: Optional[int] = None) -> None:
         self.config = config or LogConfig()
         self.num_shards = num_shards if num_shards is not None else self.config.num_shards
@@ -175,6 +199,13 @@ class ShardedLog:
         self.garbage_collections = 0
         self.archived_logs: List[List[Tuple[bytes, bytes]]] = []
         self._journal = None
+        # Persistent cross-shard root: built once (O(S)), then every root
+        # read folds in only the shards whose digest moved (O(log S) each).
+        self._root_lock = threading.Lock()
+        self._root_leaves: List[bytes] = [s.digest for s in self.shards]
+        self._root_tree = IncrementalMerkleTree(
+            [shard_leaf(i, d) for i, d in enumerate(self._root_leaves)]
+        )
 
     @property
     def journal(self):
@@ -193,8 +224,13 @@ class ShardedLog:
         return self.shards[shard_of(identifier, self.num_shards)]
 
     def shards_with_pending(self) -> List[int]:
-        """Indices of shards holding queued insertions (lane work list)."""
-        return [k for k, shard in enumerate(self.shards) if shard.pending]
+        """Indices of shards holding queued insertions (lane work list).
+
+        Uses the O(1) per-shard emptiness check — snapshotting every
+        shard's queue just to test truthiness would make the poll O(total
+        pending), which the batcher pays every tick.
+        """
+        return [k for k, shard in enumerate(self.shards) if shard.has_pending]
 
     # -- client-facing (DistributedLog surface) --------------------------------
     def insert(self, identifier: bytes, value: bytes) -> None:
@@ -205,10 +241,34 @@ class ShardedLog:
         """The committed value for ``identifier``, or None."""
         return self.shard_for(identifier).get(identifier)
 
+    # lint: unguarded[caller holds self._root_lock (digest / prove_includes)]
+    def _refresh_root(self) -> IncrementalMerkleTree:
+        """Fold dirty shard digests into the persistent root tree.
+
+        Called with ``_root_lock`` held.  Dirtiness is a byte compare of
+        each shard's current digest against the cached leaf value — O(S)
+        comparisons but no hashing — so any mutation path (epoch commit,
+        rollback, GC, restore, adversarial subclassing) is picked up
+        without explicit invalidation hooks; only changed shards pay the
+        O(log S) path rehash.
+        """
+        for index, shard in enumerate(self.shards):
+            digest = shard.digest
+            if digest != self._root_leaves[index]:
+                self._root_tree.update(index, shard_leaf(index, digest))
+                self._root_leaves[index] = digest
+        return self._root_tree
+
     @property
     def digest(self) -> bytes:
-        """The cross-shard root: the single anchor for proofs and audits."""
-        return cross_shard_root([s.digest for s in self.shards])
+        """The cross-shard root: the single anchor for proofs and audits.
+
+        Incrementally maintained — reading it after an epoch rehashes only
+        the committed shards' root paths, byte-identical to
+        :func:`cross_shard_root` over the current shard digests.
+        """
+        with self._root_lock:
+            return self._refresh_root().root
 
     @property
     def shard_digests(self) -> List[bytes]:
@@ -227,6 +287,11 @@ class ShardedLog:
             buckets[shard_of(identifier, self.num_shards)].append((identifier, value))
         for shard, bucket in zip(self.shards, buckets):
             shard.pending = bucket
+
+    @property
+    def has_pending(self) -> bool:
+        """O(1)-per-shard emptiness check (no queue snapshots)."""
+        return any(shard.has_pending for shard in self.shards)
 
     @property
     def ordered_entries(self) -> List[Tuple[bytes, bytes]]:
@@ -250,18 +315,26 @@ class ShardedLog:
     def prove_includes(
         self, identifier: bytes, value: bytes
     ) -> Optional[ShardedInclusionProof]:
-        """Root-anchored inclusion proof; None if not committed yet."""
+        """Root-anchored inclusion proof; None if not committed yet.
+
+        The shard path comes from the persistent root tree (refreshed for
+        dirty shards only) — no per-proof O(S) tree rebuild — and is
+        byte-identical to a path proved by a from-scratch
+        ``MerkleTree`` over the same digests.
+        """
         shard_index = shard_of(identifier, self.num_shards)
         inner = self.shards[shard_index].prove_includes(identifier, value)
         if inner is None:
             return None
-        digests = self.shard_digests
-        tree = MerkleTree([shard_leaf(i, d) for i, d in enumerate(digests)])
+        with self._root_lock:
+            tree = self._refresh_root()
+            shard_digest = self._root_leaves[shard_index]
+            shard_path = tree.prove(shard_index)
         return ShardedInclusionProof(
             shard=shard_index,
             num_shards=self.num_shards,
-            shard_digest=digests[shard_index],
-            shard_path=tree.prove(shard_index),
+            shard_digest=shard_digest,
+            shard_path=shard_path,
             inclusion=inner,
         )
 

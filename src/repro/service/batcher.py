@@ -18,18 +18,23 @@ shard).
 Because inclusion proofs are digest-exact (Merkle BST), committing an epoch
 invalidates the proofs of sessions still mid-share-phase.  Each served
 session therefore holds an *epoch lease* until it reports its share phase
-done (``release``); a tick waits for outstanding leases to drain — bounded
-by ``lease_timeout`` so a crashed client cannot stall the log forever
-(abandoned sessions fall back to client-side proof refresh).  (Leases are
-drained globally even in sharded mode; per-shard lease tracking would let
-untouched lanes tick early and is noted as future work.)
+done (``release``).  Leases are tracked **per shard lane**: each lane has
+its own drain condition, and a lane runs its epoch as soon as *its* leases
+drain, so a straggler on shard 7 defers only shard 7's epoch while every
+other lane commits unimpeded.  A deferred lane's drain is bounded by
+``lease_timeout``, measured from the first tick the lane deferred, so a
+crashed client cannot stall its lane forever (abandoned sessions fall back
+to client-side proof refresh; their late ``release`` after a timeout-clear
+is a harmless no-op).  Every dropped straggler counts one ``lease_timeout``
+— ``stats()`` reports the per-shard split.
 
 Thread safety: all mutable state (waiters, leases, counters) is guarded by
-``self._lock`` / the ``_drained`` condition; ``tick`` holds it for the
-whole epoch, so out-of-band log reads may take ``batcher.lock`` to get a
-settled view.  Shard-lane fan-out happens *inside* a tick: concurrency is
-between lanes (distinct shards, per-device FIFO serialization), never
-between ticks.
+``self._lock``; the ``_drained`` condition and the per-lane drain
+conditions all wrap that same lock, so holding any of them serializes the
+same state.  ``tick`` holds it for the whole epoch, so out-of-band log
+reads may take ``batcher.lock`` to get a settled view.  Shard-lane fan-out
+happens *inside* a tick: concurrency is between lanes (distinct shards,
+per-device FIFO serialization), never between ticks.
 """
 
 from __future__ import annotations
@@ -133,10 +138,14 @@ class EpochBatcher:
     _GUARDED_BY = {
         "_waiters": ("_lock", "_drained"),
         "_leases": ("_lock", "_drained"),
+        "_lease_shards": ("_lock", "_drained"),
+        "_lane_blocked_since": ("_lock", "_drained"),
+        "_lane_drained": ("_lock", "_drained"),
         "epochs_run": ("_lock", "_drained"),
         "entries_committed": ("_lock", "_drained"),
         "sessions_served": ("_lock", "_drained"),
         "lease_timeouts": ("_lock", "_drained"),
+        "lease_timeouts_by_shard": ("_lock", "_drained"),
         "epoch_failures": ("_lock", "_drained"),
         "epoch_sessions": ("_lock", "_drained"),
         "epoch_digests": ("_lock", "_drained"),
@@ -169,13 +178,30 @@ class EpochBatcher:
         self._drained = threading.Condition(self._lock)
         # (username, attempt, identifier, commitment, ticket) awaiting a tick
         self._waiters: List[Tuple[str, int, bytes, bytes, EpochTicket]] = []
-        # (username, attempt) sessions served by the last epoch and still in
-        # their share phase — their inclusion proofs pin the current digest.
-        self._leases: Set[Tuple[str, int]] = set()
+        # shard lane -> (username, attempt) sessions served by that lane's
+        # last epoch and still in their share phase — their inclusion proofs
+        # pin the current digest.  A lane absent (or empty) is drained.
+        # Unsharded deployments use lane 0.
+        self._leases: Dict[int, Set[Tuple[str, int]]] = {}
+        # (username, attempt) -> shard lane: release() only knows the
+        # session key, and must not re-derive the shard (identifiers are
+        # gone by then).  A key absent here holds no lease anywhere — a
+        # straggler's late release resolves to a no-op through this map.
+        self._lease_shards: Dict[Tuple[str, int], int] = {}
+        # shard lane -> monotonic time the lane first deferred a tick on
+        # outstanding leases.  Persists across ticks: a deferred lane is
+        # skipped, not waited on, so its lease_timeout is measured from the
+        # first deferral rather than from any single tick's start.
+        self._lane_blocked_since: Dict[int, float] = {}
+        # shard lane -> drain condition (lazily created, wraps self._lock).
+        self._lane_drained: Dict[int, threading.Condition] = {}
         self.epochs_run = 0
         self.entries_committed = 0
         self.sessions_served = 0
         self.lease_timeouts = 0
+        #: per-shard split of ``lease_timeouts`` (every dropped straggler
+        #: counts one, attributed to its lane)
+        self.lease_timeouts_by_shard: Dict[int, int] = {}
         self.epoch_failures = 0
         #: sessions that timed out in ``wait`` before their epoch landed —
         #: served without a lease (the waiter is gone; see EpochTicket)
@@ -219,27 +245,24 @@ class EpochBatcher:
     def tick(self) -> int:
         """Commit one update epoch; returns the number of sessions served.
 
-        Waits (bounded) for the previous epoch's share phases to drain
-        first, then runs exactly one ``run_update`` over everything pending
-        and resolves every waiting ticket with its inclusion proof.
+        An idle tick (nothing submitted, nothing pending) returns
+        immediately via an O(1) emptiness probe — it neither snapshots the
+        pending queue nor drains leases it has no epoch to break.  Sharded
+        logs run one epoch lane per shard; each lane waits only on *its
+        own* leases (see :meth:`_tick_shard_lanes`).  The single-log path
+        is lane 0: wait (bounded by ``lease_timeout``) for its leases to
+        drain, run exactly one ``run_update`` over everything pending, and
+        resolve every waiting ticket with its inclusion proof.
         """
         with self._drained:
-            deadline = time.monotonic() + self._lease_timeout
-            while self._leases:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    # Stragglers lose their lease; if still alive they will
-                    # refresh their proofs through the provider.
-                    self.lease_timeouts += 1
-                    self._leases.clear()
-                    break
-                self._drained.wait(remaining)
-            waiters, self._waiters = self._waiters, []
-            if not waiters and not self._provider.log.pending:
+            log = self._provider.log
+            if not self._waiters and not self._log_has_pending(log):
                 return 0
-            num_shards = getattr(self._provider.log, "num_shards", 1)
+            num_shards = getattr(log, "num_shards", 1)
             if self._shard_runner is not None and num_shards > 1:
-                return self._tick_shard_lanes(waiters, num_shards)
+                return self._tick_shard_lanes(num_shards)
+            self._drain_lane(0)
+            waiters, self._waiters = self._waiters, []
             try:
                 self._run_epoch()
             except Exception as exc:
@@ -254,20 +277,78 @@ class EpochBatcher:
                 return 0
             self.epochs_run += 1
             self.entries_committed += len(waiters)
-            served = self._serve_waiters(waiters)
+            served = self._serve_waiters(waiters, 0)
             self.epoch_sessions.append(served)
-            self.epoch_digests.append(self._provider.log.digest)
+            self.epoch_digests.append(log.digest)
             self._journal_publish()
         return served
 
+    @staticmethod
+    def _log_has_pending(log) -> bool:
+        """O(1) emptiness probe; falls back to the snapshotting ``pending``
+        property for duck-typed logs that predate ``has_pending``."""
+        flag = getattr(log, "has_pending", None)
+        if flag is None:
+            return bool(log.pending)
+        return bool(flag)
+
+    # lint: unguarded[called only with self._lock held (both tick paths); the lane condition wraps that same lock]
+    def _drain_lane(self, shard: int) -> None:
+        """Block until ``shard``'s leases drain, bounded by ``lease_timeout``.
+
+        The deadline is anchored at the lane's first deferral
+        (``_lane_blocked_since``), which may predate this call by several
+        ticks in sharded mode; stragglers past it are dropped via
+        :meth:`_expire_lane`.
+        """
+        if not self._leases.get(shard):
+            self._lane_blocked_since.pop(shard, None)
+            return
+        cond = self._lane_cond(shard)
+        start = self._lane_blocked_since.setdefault(shard, time.monotonic())
+        deadline = start + self._lease_timeout
+        while self._leases.get(shard):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # Stragglers lose their lease; if still alive they will
+                # refresh their proofs through the provider.
+                self._expire_lane(shard)
+                break
+            cond.wait(remaining)
+        self._lane_blocked_since.pop(shard, None)
+
+    # lint: unguarded[called only with self._lock held (drain/defer paths)]
+    def _expire_lane(self, shard: int) -> None:
+        """Drop every straggler lease on ``shard``, counting each one in
+        ``lease_timeouts`` and the per-shard split."""
+        leases = self._leases.pop(shard, None)
+        self._lane_blocked_since.pop(shard, None)
+        if not leases:
+            return
+        for key in leases:
+            self._lease_shards.pop(key, None)
+        self.lease_timeouts += len(leases)
+        self.lease_timeouts_by_shard[shard] = self.lease_timeouts_by_shard.get(
+            shard, 0
+        ) + len(leases)
+
+    # lint: unguarded[called only with self._lock held; all lane conditions wrap that same lock]
+    def _lane_cond(self, shard: int) -> threading.Condition:
+        """The lane's drain condition, created on first use."""
+        cond = self._lane_drained.get(shard)
+        if cond is None:
+            cond = self._lane_drained[shard] = threading.Condition(self._lock)
+        return cond
+
     # lint: unguarded[called only with self._drained held (both tick paths)]
-    def _serve_waiters(self, waiters: List[Tuple]) -> int:
+    def _serve_waiters(self, waiters: List[Tuple], shard: int) -> int:
         """Resolve each waiter with its inclusion proof; returns the count
-        actually served.  Called with ``self._drained`` held.
+        actually served.  Called with ``self._drained`` held.  Each lease
+        is filed under ``shard``'s lane (0 for the single-log path).
 
         A ticket whose session already timed out and abandoned it gets no
         epoch lease — the waiter is gone and would never ``release``, and
-        one leaked lease stalls the next tick for the whole
+        one leaked lease stalls its lane's next epoch for the whole
         ``lease_timeout`` (its entry is committed regardless; the client
         retries with a fresh attempt).
         """
@@ -280,7 +361,9 @@ class EpochBatcher:
             if not ticket.resolve((identifier, proof)):
                 self.abandoned_sessions += 1
                 continue
-            self._leases.add((username, attempt))
+            key = (username, attempt)
+            self._leases.setdefault(shard, set()).add(key)
+            self._lease_shards[key] = shard
             self.sessions_served += 1
             served += 1
         return served
@@ -293,11 +376,21 @@ class EpochBatcher:
             journal.record_publish(self._provider.log.digest)
 
     # lint: unguarded[called only from tick(), which already holds self._drained for the whole epoch — see the docstring below]
-    def _tick_shard_lanes(self, waiters: List[Tuple], num_shards: int) -> int:
-        """One tick over a sharded log: fan out, join, publish one root.
+    def _tick_shard_lanes(self, num_shards: int) -> int:
+        """One tick over a sharded log: fan out the runnable lanes, join,
+        publish one root.
 
-        Called with ``self._drained`` held (from :meth:`tick`).  Each shard
-        with queued work gets one epoch; a failed shard fails only the
+        Called with ``self._drained`` held (from :meth:`tick`).  Lanes are
+        independent: a lane runs as soon as *its* leases are drained.  A
+        lane still mid-share-phase is *deferred*, not waited on — its
+        waiters are requeued for the next tick and its block is timed from
+        the first deferral (``_lane_blocked_since``), so its leases still
+        expire after ``lease_timeout`` even though no tick sat blocking on
+        them; a straggler on one shard therefore never delays another
+        shard's epoch.  Only when *no* lane with work is runnable does the
+        tick block, until the earliest lane drains or times out.
+
+        Each runnable shard gets one epoch; a failed shard fails only the
         tickets routed to it, and ``epochs_run``/``epoch_failures`` count
         per shard epoch.  The combined cross-shard root is recorded once,
         after every lane has settled — and only if at least one lane
@@ -307,14 +400,50 @@ class EpochBatcher:
         that actually happened.
         """
         log = self._provider.log
-        by_shard: Dict[int, List[Tuple]] = {}
-        for waiter in waiters:
-            by_shard.setdefault(shard_of(waiter[2], num_shards), []).append(waiter)
-        shards_to_run = sorted(set(by_shard) | set(log.shards_with_pending()))
-        outcomes = self._shard_runner(shards_to_run)
+        while True:
+            waiters, self._waiters = self._waiters, []
+            by_shard: Dict[int, List[Tuple]] = {}
+            for waiter in waiters:
+                by_shard.setdefault(shard_of(waiter[2], num_shards), []).append(
+                    waiter
+                )
+            wanted = sorted(set(by_shard) | set(log.shards_with_pending()))
+            now = time.monotonic()
+            ready: List[int] = []
+            deferred: List[int] = []
+            for shard in wanted:
+                if not self._leases.get(shard):
+                    self._lane_blocked_since.pop(shard, None)
+                    ready.append(shard)
+                    continue
+                since = self._lane_blocked_since.setdefault(shard, now)
+                if now - since >= self._lease_timeout:
+                    self._expire_lane(shard)
+                    ready.append(shard)
+                else:
+                    deferred.append(shard)
+            if ready:
+                if deferred:
+                    held = set(deferred)
+                    self._waiters[:0] = [
+                        w for w in waiters if shard_of(w[2], num_shards) in held
+                    ]
+                    for shard in held:
+                        by_shard.pop(shard, None)
+                break
+            if not wanted:
+                return 0
+            # Every lane with work is mid-share-phase: requeue everything
+            # and block until the earliest lane drains or times out.
+            self._waiters[:0] = waiters
+            earliest = min(self._lane_blocked_since[s] for s in deferred)
+            remaining = earliest + self._lease_timeout - now
+            if remaining > 0:
+                self._drained.wait(remaining)
+        outcomes = self._shard_runner(ready)
         served = 0
         committed_lanes = 0
-        for shard in shards_to_run:
+        for shard in ready:
             error = outcomes.get(shard)
             shard_waiters = by_shard.get(shard, [])
             if error is not None:
@@ -327,7 +456,7 @@ class EpochBatcher:
             self.epochs_run += 1
             self.entries_committed += len(shard_waiters)
             committed_lanes += 1
-            served += self._serve_waiters(shard_waiters)
+            served += self._serve_waiters(shard_waiters, shard)
         if committed_lanes:
             self.epoch_sessions.append(served)
             self.epoch_digests.append(log.digest)
@@ -335,13 +464,60 @@ class EpochBatcher:
         return served
 
     def release(self, username: str, attempt: int) -> None:
-        """Drop a session's epoch lease (its share phase is over)."""
-        with self._drained:
-            self._leases.discard((username, attempt))
-            if not self._leases:
-                self._drained.notify_all()
+        """Drop a session's epoch lease (its share phase is over).
 
-    def outstanding_leases(self) -> int:
-        """Sessions served by the last epoch and still mid-share-phase."""
+        A late release — arriving after the lease was already dropped by a
+        timeout expiry — is a harmless no-op: the reverse map no longer
+        knows the session, so no lane's lease set is touched and no lane
+        condition is notified (a straggler cannot wake the wrong lane).
+        """
+        key = (username, attempt)
+        with self._drained:
+            shard = self._lease_shards.pop(key, None)
+            if shard is None:
+                return
+            leases = self._leases.get(shard)
+            if leases is None:  # pragma: no cover - maps move in lockstep
+                return
+            leases.discard(key)
+            if leases:
+                return
+            del self._leases[shard]
+            self._lane_blocked_since.pop(shard, None)
+            cond = self._lane_drained.get(shard)
+            if cond is not None:
+                cond.notify_all()
+            self._drained.notify_all()
+
+    def outstanding_leases(self, shard: Optional[int] = None) -> int:
+        """Sessions served by a committed epoch and still mid-share-phase —
+        across all lanes, or on one ``shard``'s lane."""
         with self._lock:
-            return len(self._leases)
+            if shard is None:
+                return sum(len(lane) for lane in self._leases.values())
+            return len(self._leases.get(shard, ()))
+
+    def stats(self) -> dict:
+        """Counter snapshot; the recovery service merges this into its own
+        ``stats()``.  ``lease_timeouts_by_shard`` /
+        ``outstanding_leases_by_shard`` expose the per-lane split (lane 0
+        for unsharded deployments)."""
+        with self._lock:
+            return {
+                "epochs_run": self.epochs_run,
+                "entries_committed": self.entries_committed,
+                "sessions_served": self.sessions_served,
+                "epoch_sessions": list(self.epoch_sessions),
+                "lease_timeouts": self.lease_timeouts,
+                "lease_timeouts_by_shard": dict(self.lease_timeouts_by_shard),
+                "epoch_failures": self.epoch_failures,
+                "abandoned_sessions": self.abandoned_sessions,
+                "outstanding_leases": sum(
+                    len(lane) for lane in self._leases.values()
+                ),
+                "outstanding_leases_by_shard": {
+                    shard: len(lane)
+                    for shard, lane in sorted(self._leases.items())
+                },
+                "pending_sessions": len(self._waiters),
+            }

@@ -373,12 +373,9 @@ class RecoveryService:
         stats = {
             "epoch_mode": self.epoch_mode,
             "shard_lanes": self.shard_lanes,
-            "epochs_run": self.batcher.epochs_run,
-            "sessions_served": self.batcher.sessions_served,
-            "entries_committed": self.batcher.entries_committed,
-            "epoch_sessions": list(self.batcher.epoch_sessions),
-            "lease_timeouts": self.batcher.lease_timeouts,
-            "epoch_failures": self.batcher.epoch_failures,
+            # Batcher counters, including the per-shard lease splits
+            # (lease_timeouts_by_shard, outstanding_leases_by_shard).
+            **self.batcher.stats(),
             "slot_steals": self.slot_steals,
             "jobs_per_device": list(self.pool.jobs_processed),
         }

@@ -90,6 +90,19 @@ class TestHappyPath:
         with pytest.raises(KeyError):
             log.insert(b"snap", b"2")  # still queued, still a duplicate
 
+    def test_has_pending_tracks_queue_without_snapshot(self, log):
+        """The O(1) emptiness probe the batcher polls every tick; it must
+        agree with ``pending`` through insert, setter, and commit."""
+        assert not log.has_pending
+        log.insert(b"hp", b"1")
+        assert log.has_pending
+        log.pending = []
+        assert not log.has_pending
+        log.pending = [(b"hp2", b"2")]
+        assert log.has_pending
+        log.prepare_update(num_chunks=1)
+        assert not log.has_pending
+
     def test_chunk_serialization_cached_and_forgery_visible(self, log):
         import dataclasses
 

@@ -506,3 +506,153 @@ class TestBatcherRegressions:
         with pytest.raises(ProviderError):
             bad_attempt.wait(timeout=1)
         good.wait(timeout=1)  # the batch itself is unaffected
+
+
+# ---------------------------------------------------------------------------
+# Per-shard epoch leases: lane independence, timeout accounting
+# ---------------------------------------------------------------------------
+def _stub_sharded_batcher(num_shards=4, lease_timeout=30.0):
+    """A sharded provider whose lanes commit via bare ``prepare_update`` —
+    no device fleet, so the tests isolate the batcher's lease bookkeeping."""
+    provider = ServiceProvider(LogConfig(audit_count=2, num_shards=num_shards))
+    log = provider.log
+
+    def lane_runner(shards):
+        outcomes = {}
+        for k in shards:
+            log.shards[k].prepare_update(num_chunks=1)
+            outcomes[k] = None
+        return outcomes
+
+    return provider, EpochBatcher(
+        provider, lease_timeout=lease_timeout, shard_runner=lane_runner
+    )
+
+
+def _user_on_shard(shard, num_shards, tag):
+    """A username whose attempt-0 identifier routes to ``shard`` (the
+    routing hashes the full identifier, so this is how tests pin a session
+    to a lane)."""
+    from repro.core.identifiers import attempt_identifier
+    from repro.log.sharded import shard_of
+
+    i = 0
+    while True:
+        name = f"{tag}-{i}"
+        if shard_of(attempt_identifier(name, 0), num_shards) == shard:
+            return name
+        i += 1
+
+
+class TestPerShardLeases:
+    def test_idle_tick_skips_lease_drain(self, batcher_provider):
+        """A tick with nothing submitted and nothing pending returns via
+        the O(1) emptiness probe — it must not sit out ``lease_timeout``
+        draining leases it has no epoch to break."""
+        batcher = EpochBatcher(batcher_provider, lease_timeout=30.0)
+        batcher.submit("idler", 0, b"h")
+        batcher.tick()
+        assert batcher.outstanding_leases() == 1
+        start = time.monotonic()
+        assert batcher.tick() == 0
+        assert time.monotonic() - start < 5.0
+        assert batcher.lease_timeouts == 0
+        assert batcher.outstanding_leases() == 1  # untouched, not expired
+
+    def test_each_dropped_straggler_counts_one_timeout(self, batcher_provider):
+        """Regression: the timeout path used to clear the whole lease set
+        but count a single timeout no matter how many stragglers it
+        dropped."""
+        batcher = EpochBatcher(batcher_provider, lease_timeout=0.05)
+        for i in range(3):
+            batcher.submit(f"straggler-{i}", 0, b"h%d" % i)
+        assert batcher.tick() == 3  # three leases, never released
+        batcher.submit("fresh", 0, b"h-fresh")
+        assert batcher.tick() == 1  # waits out, then drops all three
+        assert batcher.lease_timeouts == 3
+        assert batcher.stats()["lease_timeouts_by_shard"] == {0: 3}
+
+    def test_late_release_after_timeout_clear_is_noop(self, batcher_provider):
+        """A straggler's ``release`` arriving after its lease was already
+        dropped by a timeout-clear must change nothing — in particular it
+        must not drop the lease a *new* session now holds."""
+        batcher = EpochBatcher(batcher_provider, lease_timeout=0.05)
+        batcher.submit("straggler", 0, b"h")
+        batcher.tick()
+        batcher.submit("healthy", 0, b"h2")
+        assert batcher.tick() == 1  # straggler's lease expired and dropped
+        assert batcher.lease_timeouts == 1
+        assert batcher.outstanding_leases() == 1  # healthy's lease
+        batcher.release("straggler", 0)  # finally calls home: no-op
+        assert batcher.outstanding_leases() == 1
+        assert batcher.lease_timeouts == 1
+
+    def test_late_release_cannot_wake_the_wrong_lane(self):
+        """Sharded variant: after a straggler's lane times out, its late
+        ``release`` must not notify another lane's drain condition — a
+        tick blocked on a *different* lane's leases stays blocked."""
+        provider, batcher = _stub_sharded_batcher(lease_timeout=0.5)
+        straggler = _user_on_shard(0, 4, "wla")
+        holder = _user_on_shard(1, 4, "wlb")
+        batcher.submit(straggler, 0, b"h-a")
+        batcher.submit(holder, 0, b"h-b")
+        assert batcher.tick() == 2  # both lanes leased
+        # Expire lane 0: queue work for it alone, so the tick blocks on its
+        # drain, waits out the 0.5 s, and drops the straggler lease.
+        batcher.submit(_user_on_shard(0, 4, "wlc"), 0, b"h-a1")
+        assert batcher.tick() == 1
+        assert batcher.lease_timeouts == 1
+        assert batcher.stats()["lease_timeouts_by_shard"] == {0: 1}
+        # Lane 1's lease and the newly served lane-0 lease survive.
+        assert batcher.outstanding_leases(0) == 1
+        assert batcher.outstanding_leases(1) == 1
+        # A tick needing lane 1 blocks on its drain condition.  The expired
+        # straggler's late release must not wake it.
+        batcher.submit(_user_on_shard(1, 4, "wld"), 0, b"h-b1")
+        tick_done = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (batcher.tick(), tick_done.set()), daemon=True
+        )
+        thread.start()
+        time.sleep(0.05)
+        batcher.release(straggler, 0)  # late: lease long gone
+        assert not tick_done.wait(0.1)  # still draining lane 1
+        batcher.release(holder, 0)  # the real holder releases
+        assert tick_done.wait(2)
+        thread.join(timeout=2)
+
+    def test_straggler_lane_does_not_delay_other_lanes(self):
+        """One shard's session holds its lease toward a 30 s timeout while
+        other shards' ticks commit epochs unimpeded — their latency is
+        milliseconds-scale, never ``lease_timeout``-bound."""
+        provider, batcher = _stub_sharded_batcher(lease_timeout=30.0)
+        straggler = _user_on_shard(0, 4, "sla")
+        first = _user_on_shard(1, 4, "slb")
+        batcher.submit(straggler, 0, b"h-a")
+        batcher.submit(first, 0, b"h-b")
+        assert batcher.tick() == 2
+        batcher.release(first, 0)  # the straggler never releases: lane 0 busy
+        for round_no in range(1, 4):
+            # Work lands on the busy lane too: it must defer, not block.
+            batcher.submit(_user_on_shard(0, 4, f"sla{round_no}"), 0, b"h-a2")
+            fast = _user_on_shard(1, 4, f"slb{round_no}")
+            batcher.submit(fast, 0, b"h-b2")
+            tick_done = threading.Event()
+            served = []
+            thread = threading.Thread(
+                target=lambda: (served.append(batcher.tick()), tick_done.set()),
+                daemon=True,
+            )
+            start = time.monotonic()
+            thread.start()
+            assert tick_done.wait(5)  # would be ~30 s if lease-bound
+            assert time.monotonic() - start < 5.0
+            thread.join(timeout=2)
+            assert served == [1]  # lane 1 committed; lane 0 deferred
+            batcher.release(fast, 0)
+        assert batcher.lease_timeouts == 0  # nobody waited the straggler out
+        assert batcher.outstanding_leases(0) == 1
+        assert batcher.outstanding_leases(1) == 0
+        stats = batcher.stats()
+        assert stats["outstanding_leases_by_shard"] == {0: 1}
+        assert stats["pending_sessions"] == 3  # lane 0's deferred sessions
